@@ -1,0 +1,140 @@
+"""Claim C1: the link protocol holds no latches across I/O, so its
+concurrency should match or beat coupled protocols.
+
+Head-to-head throughput of the three correct protocols — link,
+latch-coupling, subtree-locking — over identical storage with simulated
+I/O latency, under a mixed search/insert workload, across thread counts.
+The expected shape (paper sections 1, 11, 12; confirmed for B-trees by
+[SC91] and [JS93]): with I/O in the picture the link protocol scales
+with threads while coupled protocols serialize on latches held across
+child fetches; subtree locking is worst.
+
+A second table runs the *full transactional GiST* (WAL + locks +
+predicate attachment) against the bare-metal link baseline, quantifying
+what the transactional machinery costs on top of the protocol.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.simpletree import make_baseline
+from repro.database import Database
+from repro.ext.btree import BTreeExtension
+from repro.harness.driver import BaselineDriver, TransactionalDriver
+from repro.workload.generator import MixSpec, ScalarWorkload
+
+IO_DELAY = 0.0005
+POOL = 40
+PRELOAD = 800
+OPS = 400
+THREADS = (1, 2, 4, 8)
+PROTOCOLS = ("link", "coupling", "subtree")
+
+
+def run_baseline(protocol: str, threads: int) -> dict:
+    tree = make_baseline(
+        protocol,
+        BTreeExtension(),
+        page_capacity=8,
+        io_delay=IO_DELAY,
+        pool_capacity=POOL,
+    )
+    workload = ScalarWorkload(
+        seed=17,
+        mix=MixSpec(insert=0.5, search=0.5),
+        key_space=50_000,
+        selectivity=0.002,
+    )
+    driver = BaselineDriver(tree)
+    driver.preload(workload.preload(PRELOAD))
+    metrics = driver.run(list(workload.ops(OPS)), threads=threads)
+    row = metrics.row()
+    row["protocol"] = protocol
+    return row
+
+
+def test_c1_protocol_scaling(benchmark, emit):
+    rows = []
+
+    def run():
+        rows.clear()
+        for protocol in PROTOCOLS:
+            for threads in THREADS:
+                rows.append(run_baseline(protocol, threads))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "C1 — throughput (ops/s) by protocol and thread count "
+        f"(io_delay={IO_DELAY * 1e3:.1f} ms, mixed 50/50 workload)",
+        rows,
+        columns=[
+            "protocol",
+            "threads",
+            "ops",
+            "ops_per_sec",
+            "p95_ms",
+            "rightlinks",
+            "splits",
+            "restarts",
+        ],
+    )
+    perf = {
+        (r["protocol"], r["threads"]): r["ops_per_sec"] for r in rows
+    }
+    # the paper's shape: at high concurrency the link protocol beats the
+    # coupled protocols (which serialize I/O under latches)
+    assert perf[("link", 8)] > perf[("subtree", 8)]
+    assert perf[("link", 8)] > perf[("coupling", 8)]
+    # and the link protocol actually scales with threads
+    assert perf[("link", 8)] > perf[("link", 1)] * 1.3
+
+
+def test_c1_full_system_vs_bare_protocol(benchmark, emit):
+    """The full transactional GiST against the bare link baseline."""
+    rows = []
+
+    def run():
+        rows.clear()
+        for threads in (1, 4, 8):
+            rows.append(run_baseline("link", threads))
+        for threads in (1, 4, 8):
+            db = Database(
+                page_capacity=8,
+                io_delay=IO_DELAY,
+                pool_capacity=POOL,
+                lock_timeout=30.0,
+            )
+            tree = db.create_tree("c1", BTreeExtension())
+            workload = ScalarWorkload(
+                seed=17,
+                mix=MixSpec(insert=0.5, search=0.5),
+                key_space=50_000,
+                selectivity=0.002,
+            )
+            driver = TransactionalDriver(db, tree, ops_per_txn=4)
+            driver.preload(workload.preload(PRELOAD))
+            metrics = driver.run(
+                list(workload.ops(OPS)), threads=threads
+            )
+            row = metrics.row()
+            row["protocol"] = "gist-full"
+            rows.append(row)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "C1b — bare link protocol vs full transactional GiST "
+        "(WAL + 2PL + predicate locking)",
+        rows,
+        columns=[
+            "protocol",
+            "threads",
+            "ops",
+            "ops_per_sec",
+            "p95_ms",
+            "aborts",
+        ],
+    )
+    perf = {
+        (r["protocol"], r["threads"]): r["ops_per_sec"] for r in rows
+    }
+    # the transactional machinery must not destroy scaling
+    assert perf[("gist-full", 8)] > perf[("gist-full", 1)] * 1.1

@@ -1,0 +1,97 @@
+"""Claim C4: unique-index insertion (section 8).
+
+Racing inserters of the same key must never both commit; the race
+resolves through predicate blocking (one side waits, re-probes, reports
+the duplicate) or, when the interleaving is symmetric, through a
+deadlock the lock manager breaks.  This benchmark fires many racing
+pairs and tabulates the outcomes; exactly one commit per key is the
+invariant.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.database import Database
+from repro.errors import TransactionAbort, UniqueViolationError
+from repro.ext.btree import BTreeExtension, Interval
+
+KEYS = 25
+RACERS_PER_KEY = 2
+
+
+def race_unique() -> dict:
+    db = Database(page_capacity=8, lock_timeout=20.0)
+    tree = db.create_tree("uq", BTreeExtension(), unique=True)
+    outcomes = {"committed": 0, "violation": 0, "deadlock": 0}
+    lock = threading.Lock()
+
+    def racer(key: int, rid: str, barrier: threading.Barrier):
+        barrier.wait()
+        txn = db.begin()
+        try:
+            tree.insert(txn, key, rid)
+            db.commit(txn)
+            result = "committed"
+        except UniqueViolationError:
+            db.rollback(txn)
+            result = "violation"
+        except TransactionAbort:
+            try:
+                db.rollback(txn)
+            except Exception:
+                pass
+            result = "deadlock"
+        with lock:
+            outcomes[result] += 1
+
+    for key in range(KEYS):
+        barrier = threading.Barrier(RACERS_PER_KEY)
+        threads = [
+            threading.Thread(
+                target=racer,
+                args=(key, f"k{key}-r{i}", barrier),
+                daemon=True,
+            )
+            for i in range(RACERS_PER_KEY)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+
+    txn = db.begin()
+    stored = tree.search(txn, Interval(0, KEYS))
+    db.commit(txn)
+    keys_stored = [k for k, _ in stored]
+    return {
+        "keys_raced": KEYS,
+        "committed": outcomes["committed"],
+        "violations": outcomes["violation"],
+        "deadlock_aborts": outcomes["deadlock"],
+        "stored": len(keys_stored),
+        "duplicates": len(keys_stored) - len(set(keys_stored)),
+    }
+
+
+def test_c4_unique_insert_race(benchmark, emit):
+    rows = []
+
+    def run():
+        rows.clear()
+        rows.append(race_unique())
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "C4 — racing unique-index inserters (2 racers per key): "
+        "outcome distribution",
+        rows,
+    )
+    row = rows[0]
+    assert row["duplicates"] == 0  # the invariant of section 8
+    assert row["committed"] == row["stored"] == KEYS
+    # the losing racers all ended in a *reported* outcome, never silence
+    assert (
+        row["committed"] + row["violations"] + row["deadlock_aborts"]
+        == KEYS * RACERS_PER_KEY
+    )

@@ -1,0 +1,76 @@
+"""Group commit: commit throughput under a slow log device.
+
+Not a claim from the GiST paper itself, but the standard WAL companion
+(the paper's host, DB2, relies on it): with a per-force latency, commit
+throughput is bounded by forces per second unless concurrent committers
+share forces.  The experiment drives N committer threads against a log
+with a 3 ms force latency and reports commits, physical forces, and the
+share that rode along.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.database import Database
+from repro.ext.btree import BTreeExtension
+
+FLUSH_DELAY = 0.003
+COMMITS_PER_THREAD = 12
+
+
+def run(threads: int) -> dict:
+    db = Database(page_capacity=16, flush_delay=FLUSH_DELAY)
+    tree = db.create_tree("gc", BTreeExtension())
+
+    def worker(wid: int):
+        for i in range(COMMITS_PER_THREAD):
+            txn = db.begin()
+            tree.insert(txn, wid * 1000 + i, f"{wid}-{i}")
+            db.commit(txn)
+
+    workers = [
+        threading.Thread(target=worker, args=(w,), daemon=True) for w in range(threads)
+    ]
+    start = time.perf_counter()
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join(120.0)
+    elapsed = time.perf_counter() - start
+    stats = db.log.stats.snapshot()
+    commits = threads * COMMITS_PER_THREAD
+    return {
+        "threads": threads,
+        "commits": commits,
+        "commits_per_sec": round(commits / elapsed, 1),
+        "log_forces": stats["flushes"],
+        "rode_along": stats["group_commits"],
+        "commits_per_force": round(commits / max(1, stats["flushes"]), 2),
+    }
+
+
+def test_group_commit_scaling(benchmark, emit):
+    rows = []
+
+    def go():
+        rows.clear()
+        for threads in (1, 4, 8):
+            rows.append(run(threads))
+
+    benchmark.pedantic(go, rounds=1, iterations=1)
+    emit(
+        "Group commit — commit throughput vs committer threads "
+        f"(log force latency {FLUSH_DELAY * 1e3:.0f} ms)",
+        rows,
+    )
+    by_threads = {r["threads"]: r for r in rows}
+    # concurrency amortizes forces: more commits per physical force
+    assert (
+        by_threads[8]["commits_per_force"]
+        > by_threads[1]["commits_per_force"]
+    )
+    assert by_threads[8]["commits_per_sec"] > by_threads[1][
+        "commits_per_sec"
+    ]

@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark prints its experiment table and also appends it to
+``benchmarks/results.txt`` so the numbers survive pytest's output
+capture; the pytest-benchmark timing summary complements them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness.report import render_table
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    RESULTS_PATH.write_text("")
+    yield
+
+
+@pytest.fixture
+def emit(capsys):
+    """Emit an experiment table to stdout and to results.txt."""
+
+    def _emit(title: str, rows, columns=None) -> None:
+        text = render_table(rows, title=title, columns=columns)
+        with capsys.disabled():
+            print()
+            print(text)
+        with RESULTS_PATH.open("a") as fh:
+            fh.write(text + "\n\n")
+
+    return _emit

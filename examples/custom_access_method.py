@@ -1,0 +1,120 @@
+"""Write a brand-new access method in ~60 lines — the paper's thesis.
+
+Section 12: "The core DBMS plus GiST can be extended with a new access
+method simply by supplying it with a set of pre-specified methods ...
+Details such as concurrency and recovery — which usually account for a
+major fraction of the complexity of the code — can be ignored by the
+extension code."
+
+Here we build an **IP-range index** (keys are CIDR-like address ranges,
+queries are addresses or ranges) by implementing only the extension
+methods.  The resulting index is immediately transactional, concurrent,
+and crash-recoverable — none of which appears below.
+
+Run:  python examples/custom_access_method.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro import Database, GiSTExtension
+
+
+@dataclass(frozen=True)
+class IpRange:
+    """An inclusive range of IPv4 addresses (stored as ints)."""
+
+    lo: int
+    hi: int
+
+    @staticmethod
+    def cidr(dotted: str, prefix: int) -> "IpRange":
+        parts = [int(p) for p in dotted.split(".")]
+        base = (
+            (parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) | parts[3]
+        )
+        span = 1 << (32 - prefix)
+        lo = base & ~(span - 1)
+        return IpRange(lo, lo + span - 1)
+
+    def overlaps(self, other: "IpRange") -> bool:
+        return not (self.hi < other.lo or other.hi < self.lo)
+
+    def __str__(self) -> str:
+        def dotted(v: int) -> str:
+            return ".".join(str((v >> s) & 255) for s in (24, 16, 8, 0))
+
+        return f"{dotted(self.lo)}-{dotted(self.hi)}"
+
+
+class IpRangeExtension(GiSTExtension):
+    """The complete extension: six small methods, nothing else."""
+
+    name = "iprange"
+
+    def consistent(self, pred: object, query: object) -> bool:
+        return pred.overlaps(query)
+
+    def union(self, preds: Sequence[object]) -> object:
+        return IpRange(
+            min(p.lo for p in preds), max(p.hi for p in preds)
+        )
+
+    def penalty(self, bp: object, key: object) -> float:
+        grown = self.union([bp, key])
+        return float((grown.hi - grown.lo) - (bp.hi - bp.lo))
+
+    def pick_split(self, preds):
+        order = sorted(range(len(preds)), key=lambda i: preds[i].lo)
+        mid = len(order) // 2
+        return order[:mid], order[mid:]
+
+    def same(self, a: object, b: object) -> bool:
+        return a == b
+
+    def eq_query(self, key: object) -> object:
+        return key
+
+
+def main() -> None:
+    db = Database(page_capacity=16)
+    firewall = db.create_tree("firewall_rules", IpRangeExtension())
+
+    rules = {
+        "office-lan": IpRange.cidr("10.1.0.0", 16),
+        "build-farm": IpRange.cidr("10.2.4.0", 24),
+        "guests": IpRange.cidr("192.168.10.0", 24),
+        "vpn-pool": IpRange.cidr("172.16.0.0", 20),
+        "dmz": IpRange.cidr("203.0.113.0", 24),
+    }
+    txn = db.begin()
+    for rule, cidr in rules.items():
+        firewall.insert(txn, cidr, rule)
+    db.commit(txn)
+
+    probe = IpRange.cidr("10.2.4.17", 32)  # a single build-farm host
+    txn = db.begin()
+    matches = firewall.search(txn, probe)
+    db.commit(txn)
+    print(f"rules matching 10.2.4.17:")
+    for cidr, rule in matches:
+        print(f"  {rule:<12} {cidr}")
+    assert {rule for _, rule in matches} == {"build-farm"}
+
+    # ...and the custom index is crash-safe for free:
+    db.crash()
+    db = db.restart({"firewall_rules": IpRangeExtension()})
+    firewall = db.tree("firewall_rules")
+    txn = db.begin()
+    assert {
+        rule for _, rule in firewall.search(txn, probe)
+    } == {"build-farm"}
+    db.commit(txn)
+    print("\ncustom access method recovered from a crash "
+          "with zero recovery code in the extension ✓")
+
+
+if __name__ == "__main__":
+    main()

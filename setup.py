@@ -1,0 +1,5 @@
+"""Legacy setup shim (offline environments without wheel/build)."""
+
+from setuptools import setup
+
+setup()

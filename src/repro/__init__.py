@@ -1,0 +1,66 @@
+"""Concurrency and Recovery in Generalized Search Trees — a reproduction.
+
+A from-scratch implementation of Kornacker, Mohan & Hellerstein's SIGMOD
+1997 paper: the GiST index template extended with the link-based
+concurrency protocol (NSNs + rightlinks), the hybrid repeatable-read
+mechanism (two-phase record locking + node-attached predicate locks),
+and the ARIES-style logging and recovery protocol of Table 1 — together
+with every substrate they assume (buffer pool, latches, lock manager,
+WAL, transactions) and the baselines the paper argues against.
+
+Quickstart::
+
+    from repro import Database, BTreeExtension, Interval
+
+    db = Database()
+    tree = db.create_tree("idx", BTreeExtension())
+    txn = db.begin()
+    tree.insert(txn, key=42, rid="r1")
+    db.commit(txn)
+
+    txn = db.begin()
+    print(tree.search(txn, Interval(0, 100)))   # [(42, 'r1')]
+    db.commit(txn)
+"""
+
+from repro.database import Database
+from repro.errors import (
+    DeadlockError,
+    KeyNotFoundError,
+    LockTimeoutError,
+    ReproError,
+    TransactionAbort,
+    UniqueViolationError,
+)
+from repro.ext.btree import BTreeExtension, Interval
+from repro.ext.rdtree import RDTreeExtension
+from repro.ext.rtree import Rect, RTreeExtension
+from repro.gist.checker import check_tree
+from repro.gist.extension import GiSTExtension
+from repro.gist.maintenance import vacuum
+from repro.gist.tree import GiST
+from repro.txn.transaction import IsolationLevel, Transaction
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BTreeExtension",
+    "Database",
+    "DeadlockError",
+    "GiST",
+    "GiSTExtension",
+    "Interval",
+    "IsolationLevel",
+    "KeyNotFoundError",
+    "LockTimeoutError",
+    "RDTreeExtension",
+    "RTreeExtension",
+    "Rect",
+    "ReproError",
+    "Transaction",
+    "TransactionAbort",
+    "UniqueViolationError",
+    "check_tree",
+    "vacuum",
+    "__version__",
+]

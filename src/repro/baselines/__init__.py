@@ -1,0 +1,30 @@
+"""Baselines the paper argues against, for head-to-head benchmarks."""
+
+from repro.baselines.keyrange import EOF_LOCK, KeyRangeIndex
+from repro.baselines.purepred import (
+    GlobalPredicateTable,
+    PurePredicateIndex,
+)
+from repro.baselines.simpletree import (
+    PROTOCOLS,
+    BaselineTree,
+    CouplingTree,
+    LinkTree,
+    NaiveTree,
+    SubtreeTree,
+    make_baseline,
+)
+
+__all__ = [
+    "EOF_LOCK",
+    "PROTOCOLS",
+    "BaselineTree",
+    "CouplingTree",
+    "GlobalPredicateTable",
+    "KeyRangeIndex",
+    "LinkTree",
+    "NaiveTree",
+    "PurePredicateIndex",
+    "SubtreeTree",
+    "make_baseline",
+]

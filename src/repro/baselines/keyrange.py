@@ -1,0 +1,145 @@
+"""Key-range locking over an ordered index (section 4.1).
+
+The paper's B-tree-only solution to the phantom problem: each stored key
+is a surrogate lock name for the half-open gap below it.  A range scan
+S-locks every qualifying record *plus the first record past the right
+end of the range*; an insert probes the lock on the record immediately
+to the right of the insertion point, so an insertion into a locked gap
+blocks until the scanner finishes.
+
+This only works because the key domain is ordered and keys partition
+physically — exactly the property GiSTs drop (section 4.2) — so this
+baseline exists to reproduce the comparison the paper makes in ablation
+A3: on ordered keys, key-range locking takes a handful of cheap physical
+locks per scan where the hybrid mechanism takes one predicate lock per
+visited node; on non-ordered domains it is simply inapplicable.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+from repro.errors import ReproError
+from repro.lock.manager import LockManager
+from repro.lock.modes import LockMode
+
+#: sentinel lock name for "past the end of the index"
+EOF_LOCK = ("kr", "<eof>")
+
+
+def _range_lock(key: object, rid: object) -> tuple:
+    return ("kr", key, rid)
+
+
+class KeyRangeIndex:
+    """A flat ordered index with key-range locking.
+
+    The physical structure is a sorted array under one structure mutex
+    (fine for the ablation — the object of study is the *locking*
+    protocol, not the node organization); the locks live in a standard
+    :class:`LockManager`, so deadlocks between scans and inserts resolve
+    the usual way.
+    """
+
+    def __init__(self, locks: LockManager | None = None) -> None:
+        self.locks = locks or LockManager()
+        self._mutex = threading.Lock()
+        self._keys: list = []  # sorted (key, rid) pairs
+        self.lock_requests = 0
+
+    # ------------------------------------------------------------------
+    # internal helpers
+    # ------------------------------------------------------------------
+    def _next_lock_name(self, key: object) -> tuple:
+        """Lock name guarding the gap that ``key`` would fall into."""
+        with self._mutex:
+            i = bisect.bisect_right(self._keys, (key, ""))
+            while i < len(self._keys) and self._keys[i][0] == key:
+                i += 1
+            if i >= len(self._keys):
+                return EOF_LOCK
+            nxt = self._keys[i]
+            return _range_lock(nxt[0], nxt[1])
+
+    def _acquire(self, xid: int, name: tuple, mode: LockMode) -> None:
+        self.lock_requests += 1
+        self.locks.acquire(xid, name, mode)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def scan(self, xid: int, lo: object, hi: object) -> list[tuple]:
+        """Range scan with key-range locking (repeatable read).
+
+        S-locks every record in ``[lo, hi]`` and the first record past
+        ``hi`` (or the EOF sentinel), thereby locking every gap that
+        intersects the range.
+        """
+        while True:
+            with self._mutex:
+                i = bisect.bisect_left(self._keys, (lo, ""))
+                snapshot = []
+                j = i
+                while j < len(self._keys) and self._keys[j][0] <= hi:
+                    snapshot.append(self._keys[j])
+                    j += 1
+                next_name = (
+                    _range_lock(*self._keys[j])
+                    if j < len(self._keys)
+                    else EOF_LOCK
+                )
+            for key, rid in snapshot:
+                self._acquire(xid, _range_lock(key, rid), LockMode.S)
+            self._acquire(xid, next_name, LockMode.S)
+            # Re-validate: an insert may have slipped in between the
+            # snapshot and the locks; if the snapshot changed, rescan
+            # (the locks we now hold make progress certain).
+            with self._mutex:
+                i2 = bisect.bisect_left(self._keys, (lo, ""))
+                current = []
+                j2 = i2
+                while j2 < len(self._keys) and self._keys[j2][0] <= hi:
+                    current.append(self._keys[j2])
+                    j2 += 1
+            if current == snapshot:
+                return snapshot
+
+    def insert(self, xid: int, key: object, rid: object) -> None:
+        """Insert with next-key gap probing.
+
+        The instant-duration X probe on the next record's lock name
+        fails while any scan covers the gap, blocking phantom
+        insertions.
+        """
+        next_name = self._next_lock_name(key)
+        # instant-duration probe: acquire X, release immediately
+        self._acquire(xid, next_name, LockMode.X)
+        self.locks.release(xid, next_name)
+        self._acquire(xid, _range_lock(key, rid), LockMode.X)
+        with self._mutex:
+            bisect.insort(self._keys, (key, rid))
+
+    def delete(self, xid: int, key: object, rid: object) -> None:
+        """Delete with next-key locking: the deleted record's range
+        merges into its successor's, so the successor must be X-locked
+        for the duration of the transaction."""
+        self._acquire(xid, _range_lock(key, rid), LockMode.X)
+        next_name = self._next_lock_name(key)
+        self._acquire(xid, next_name, LockMode.X)
+        with self._mutex:
+            try:
+                self._keys.remove((key, rid))
+            except ValueError:
+                raise ReproError(
+                    f"({key!r}, {rid!r}) not present"
+                ) from None
+
+    def end(self, xid: int) -> None:
+        """Transaction end: drop all of the transaction's locks."""
+        self.locks.release_all(xid)
+
+    def contents(self) -> list[tuple]:
+        """Sorted snapshot of the stored pairs."""
+        with self._mutex:
+            return list(self._keys)

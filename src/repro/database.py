@@ -1,0 +1,354 @@
+"""The database assembly: storage + WAL + locks + transactions + trees.
+
+A :class:`Database` wires together every substrate the paper assumes of
+its host DBMS — buffer pool over a (simulated) disk, write-ahead log,
+lock manager, transaction manager — and owns the catalog of GiST indexes
+living on top of them.  It also implements the **undo executor**: the
+dispatcher that rolls back one log record, page-oriented for structure
+modifications and logical (through the owning tree) for leaf content
+records (section 9.2, Table 1's undo column).
+
+Crash simulation is two calls: :meth:`crash` discards all volatile state
+(buffer pool, unflushed log tail), and :meth:`restart` builds a fresh
+assembly over the surviving disk + log and runs ARIES-style restart
+recovery on it.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import ReproError, WALError
+from repro.gist.extension import GiSTExtension
+from repro.gist.tree import GiST
+from repro.lock.manager import LockManager
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import PageStore
+from repro.storage.page import PageKind
+from repro.sync.hooks import Hooks
+from repro.sync.latch import LatchMode
+from repro.txn.manager import TransactionManager
+from repro.txn.transaction import IsolationLevel, Transaction
+from repro.wal.log import LogManager
+from repro.wal.records import (
+    AddLeafEntryRecord,
+    CheckpointRecord,
+    FreePageRecord,
+    GetPageRecord,
+    InternalEntryAddRecord,
+    InternalEntryDeleteRecord,
+    InternalEntryUpdateRecord,
+    LogRecord,
+    MarkLeafEntryRecord,
+    PageImageClr,
+    RightlinkUpdateRecord,
+    RootSplitRecord,
+    SplitRecord,
+    TreeCreateRecord,
+)
+
+#: xid reserved for system activity (tree creation, checkpoints)
+SYSTEM_XID = 0
+
+
+class Database:
+    """An embedded database instance hosting GiST indexes.
+
+    Parameters
+    ----------
+    io_delay:
+        Simulated disk latency per page read/write, in seconds.
+    page_capacity:
+        Entries per page (the tree fanout).
+    pool_capacity:
+        Buffer pool size in frames.
+    lock_timeout:
+        Backstop lock-wait timeout (deadlocks are detected eagerly; the
+        timeout only catches bugs).
+    store, log:
+        Supply existing instances to reopen a database after a crash
+        (normally via :meth:`restart`).
+    """
+
+    def __init__(
+        self,
+        *,
+        io_delay: float = 0.0,
+        page_capacity: int = 32,
+        pool_capacity: int = 4096,
+        lock_timeout: float | None = 30.0,
+        flush_delay: float = 0.0,
+        hooks: Hooks | None = None,
+        store: PageStore | None = None,
+        log: LogManager | None = None,
+    ) -> None:
+        self.store = store or PageStore(
+            io_delay=io_delay, page_capacity=page_capacity
+        )
+        self.log = log or LogManager(flush_delay=flush_delay)
+        self.pool = BufferPool(
+            self.store, capacity=pool_capacity, wal_flush=self.log.flush
+        )
+        self.locks = LockManager(default_timeout=lock_timeout)
+        self.txns = TransactionManager(self.log, self.locks, predicates=self)
+        self.txns.undo_executor = self._undo_record
+        self.hooks = hooks or Hooks()
+        self.trees: dict[str, GiST] = {}
+        #: set during restart recovery: logical undo must not trigger
+        #: structure modifications (section 9.2)
+        self.in_restart = False
+
+    # ------------------------------------------------------------------
+    # catalog
+    # ------------------------------------------------------------------
+    def create_tree(
+        self,
+        name: str,
+        extension: GiSTExtension,
+        *,
+        unique: bool = False,
+        nsn_source: str = "counter",
+    ) -> GiST:
+        """Create a new (empty) GiST index."""
+        if name in self.trees:
+            raise ReproError(f"tree {name!r} already exists")
+        root_pid = self.store.allocate()
+        self.log.append(GetPageRecord(xid=SYSTEM_XID, page_id=root_pid))
+        record = TreeCreateRecord(
+            xid=SYSTEM_XID,
+            name=name,
+            root_pid=root_pid,
+            unique=unique,
+            nsn_source=nsn_source,
+        )
+        lsn = self.log.append(record)
+        from repro.storage.page import Page
+
+        root = Page(
+            pid=root_pid,
+            kind=PageKind.LEAF,
+            capacity=self.store.page_capacity,
+        )
+        record.redo_page(root)
+        frame = self.pool.adopt(root)
+        frame.mark_dirty(lsn)
+        self.log.flush(lsn)
+        tree = GiST(
+            self,
+            name,
+            extension,
+            root_pid,
+            unique=unique,
+            nsn_source=nsn_source,
+        )
+        self.trees[name] = tree
+        return tree
+
+    def tree(self, name: str) -> GiST:
+        """Look up a tree by name (raises for unknown names)."""
+        try:
+            return self.trees[name]
+        except KeyError:
+            raise ReproError(f"no tree named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def begin(
+        self, isolation: IsolationLevel = IsolationLevel.REPEATABLE_READ
+    ) -> Transaction:
+        """Start a transaction at the given isolation level."""
+        return self.txns.begin(isolation)
+
+    def commit(self, txn: Transaction) -> None:
+        """Commit ``txn``: force the log, release locks and predicates."""
+        self.txns.commit(txn)
+
+    def rollback(self, txn: Transaction) -> None:
+        """Abort ``txn``: undo all of its effects, then release everything."""
+        self.txns.rollback(txn)
+
+    # duck-typed predicate registry for the transaction manager
+    def release_transaction(self, xid: int) -> None:
+        """Drop the transaction's predicates in every tree (txn-manager hook)."""
+        for tree in self.trees.values():
+            tree.predicates.release_transaction(xid)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Take a fuzzy checkpoint; returns its LSN."""
+        att = {
+            txn.xid: self.log.last_lsn_of(txn.xid)
+            for txn in self.txns.active_transactions()
+        }
+        record = CheckpointRecord(
+            xid=SYSTEM_XID, att=att, dpt=self.pool.dirty_page_table()
+        )
+        lsn = self.log.append(record)
+        self.log.flush(lsn)
+        self.log.master_lsn = lsn
+        return lsn
+
+    # ------------------------------------------------------------------
+    # crash / restart
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Lose all volatile state (buffer pool, unflushed log tail).
+
+        The caller must have stopped worker threads; live transactions
+        simply vanish, exactly as in a power failure, and will be rolled
+        back by restart recovery.
+        """
+        self.log.crash()
+        self.pool.crash()
+
+    def restart(
+        self, extensions: Mapping[str, GiSTExtension], **config: object
+    ) -> "Database":
+        """Open a fresh database over this one's disk + log and recover.
+
+        ``extensions`` maps tree names to extension instances (extension
+        code cannot be stored in the log; the application supplies it at
+        open time, as PostgreSQL does with operator classes).
+        """
+        from repro.wal.recovery import RestartRecovery
+
+        config.setdefault("page_capacity", self.store.page_capacity)
+        new_db = Database(store=self.store, log=self.log, **config)
+        RestartRecovery(new_db, extensions).run()
+        return new_db
+
+    # ------------------------------------------------------------------
+    # the undo executor (Table 1's undo column)
+    # ------------------------------------------------------------------
+    def _undo_record(self, record: LogRecord, txn: object) -> None:
+        """Undo one log record on behalf of a rolling-back transaction.
+
+        Leaf content records undo *logically* through the owning tree;
+        structure-modification records undo page-oriented; page
+        allocation records undo against the allocation map.  Every undo
+        writes a compensation record whose ``undo_next`` skips the undone
+        record on any repeated rollback attempt.
+        """
+        xid = getattr(txn, "xid", txn)
+        if isinstance(record, AddLeafEntryRecord):
+            tree = self.tree(record.tree)
+            tree.undo_add_leaf_entry(record, xid, restart=self.in_restart)
+        elif isinstance(record, MarkLeafEntryRecord):
+            tree = self.tree(record.tree)
+            tree.undo_mark_leaf_entry(record, xid, restart=self.in_restart)
+        elif isinstance(record, (SplitRecord, RootSplitRecord)):
+            pid = (
+                record.orig_pid
+                if isinstance(record, SplitRecord)
+                else record.root_pid
+            )
+            with self.pool.fixed(pid, LatchMode.X) as frame:
+                record.undo_page(frame.page)
+                clr = PageImageClr(
+                    xid=xid, page_id=pid, image=frame.page.snapshot()
+                )
+                clr.undo_next = record.prev_lsn
+                lsn = self.log.append(clr)
+                frame.mark_dirty(lsn)
+        elif isinstance(record, InternalEntryAddRecord):
+            clr = InternalEntryDeleteRecord(
+                xid=xid,
+                page_id=record.page_id,
+                pred=record.pred,
+                child=record.child,
+            )
+            self._apply_page_clr(record, clr)
+        elif isinstance(record, InternalEntryUpdateRecord):
+            clr = InternalEntryUpdateRecord(
+                xid=xid,
+                page_id=record.page_id,
+                child=record.child,
+                new_bp=record.old_bp,
+                old_bp=record.new_bp,
+            )
+            self._apply_page_clr(record, clr)
+        elif isinstance(record, InternalEntryDeleteRecord):
+            clr = InternalEntryAddRecord(
+                xid=xid,
+                page_id=record.page_id,
+                pred=record.pred,
+                child=record.child,
+            )
+            self._apply_page_clr(record, clr)
+        elif isinstance(record, RightlinkUpdateRecord):
+            clr = RightlinkUpdateRecord(
+                xid=xid,
+                page_id=record.page_id,
+                new_rightlink=record.old_rightlink,
+                old_rightlink=record.new_rightlink,
+            )
+            self._apply_page_clr(record, clr)
+        elif isinstance(record, GetPageRecord):
+            clr = FreePageRecord(xid=xid, page_id=record.page_id)
+            clr.undo_next = record.prev_lsn
+            self.log.append(clr)
+            self.store.mark_free(record.page_id)
+            if self.pool.resident(record.page_id):
+                self.pool.drop(record.page_id)
+        elif isinstance(record, FreePageRecord):
+            clr = GetPageRecord(xid=xid, page_id=record.page_id)
+            clr.undo_next = record.prev_lsn
+            self.log.append(clr)
+            self.store.mark_allocated(record.page_id)
+        else:
+            raise WALError(
+                f"no undo action for record type {record.type_name()}"
+            )
+
+    def _apply_page_clr(self, record: LogRecord, clr: LogRecord) -> None:
+        clr.undo_next = record.prev_lsn
+        with self.pool.fixed(clr.page_id, LatchMode.X) as frame:
+            lsn = self.log.append(clr)
+            clr.redo_page(frame.page)
+            frame.mark_dirty(lsn)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """One aggregated statistics snapshot across every subsystem."""
+        return {
+            "io": self.store.stats.snapshot(),
+            "buffer": {
+                "hits": self.pool.hits,
+                "misses": self.pool.misses,
+                "evictions": self.pool.evictions,
+                "dirty": len(self.pool.dirty_page_table()),
+            },
+            "log": {
+                **self.log.stats.snapshot(),
+                "end_lsn": self.log.end_lsn,
+                "flushed_lsn": self.log.flushed_lsn,
+            },
+            "locks": self.locks.stats.snapshot(),
+            "txns": {
+                "active": len(self.txns.active_transactions()),
+                "committed": len(self.txns.committed_xids),
+                "aborted": len(self.txns.aborted_xids),
+            },
+            "trees": {
+                name: {
+                    **tree.stats.snapshot(),
+                    "predicates": tree.predicates.stats.snapshot(),
+                    "nsn_reads": tree.nsn.global_reads,
+                }
+                for name, tree in self.trees.items()
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Clean shutdown: checkpoint, flush everything."""
+        self.checkpoint()
+        self.pool.flush_all()
+        self.log.flush()

@@ -1,0 +1,88 @@
+"""Exception hierarchy for the GiST reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class.  Errors that abort the surrounding
+transaction (deadlock victims, explicit aborts) derive from
+:class:`TransactionAbort` so that drivers can distinguish retryable
+conditions from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TransactionAbort(ReproError):
+    """Base class for conditions that abort the surrounding transaction.
+
+    A driver that catches :class:`TransactionAbort` should roll back the
+    transaction (if the library has not already done so) and may retry.
+    """
+
+
+class DeadlockError(TransactionAbort):
+    """The lock manager chose this transaction as a deadlock victim."""
+
+
+class LockTimeoutError(TransactionAbort):
+    """A lock request exceeded its timeout (used as a deadlock backstop)."""
+
+
+class TransactionStateError(ReproError):
+    """An operation was attempted on a transaction in the wrong state."""
+
+
+class UniqueViolationError(ReproError):
+    """An insertion into a unique index found a committed duplicate.
+
+    Per section 8 of the paper this error is *repeatable*: the duplicate's
+    data record is S-locked under two-phase locking, so re-running the
+    insert inside the same repeatable-read transaction reports the same
+    error.
+    """
+
+    def __init__(self, key: object) -> None:
+        super().__init__(f"duplicate key in unique index: {key!r}")
+        self.key = key
+
+
+class KeyNotFoundError(ReproError):
+    """A delete targeted a (key, rid) pair that is not in the tree."""
+
+
+class PageError(ReproError):
+    """Base class for page/storage level errors."""
+
+
+class PageNotFoundError(PageError):
+    """A page id does not exist in the page store."""
+
+
+class PageOverflowError(PageError):
+    """An entry insertion exceeded the page capacity."""
+
+
+class BufferPoolError(ReproError):
+    """Buffer pool misuse (e.g. unpinning an unpinned page)."""
+
+
+class LatchError(ReproError):
+    """Latch protocol misuse (e.g. releasing a latch not held)."""
+
+
+class WALError(ReproError):
+    """Log manager or recovery protocol failure."""
+
+
+class RecoveryError(WALError):
+    """Restart recovery detected an inconsistency it cannot repair."""
+
+
+class CrashError(ReproError):
+    """Raised by the crash-injection harness at the injected crash point."""
+
+
+class ExtensionError(ReproError):
+    """An access-method extension violated the GiST extension contract."""

@@ -1,0 +1,15 @@
+"""Access-method extensions: B-tree, R-tree and RD-tree specializations."""
+
+from repro.ext.btree import BTreeExtension, Interval, as_interval
+from repro.ext.rdtree import RDTreeExtension, as_key_set
+from repro.ext.rtree import Rect, RTreeExtension
+
+__all__ = [
+    "BTreeExtension",
+    "Interval",
+    "RDTreeExtension",
+    "RTreeExtension",
+    "Rect",
+    "as_interval",
+    "as_key_set",
+]

@@ -1,0 +1,111 @@
+"""RD-tree (Russian Doll tree) as a GiST extension.
+
+Keys are finite sets; bounding predicates are set unions; the supported
+query is *overlap* (``key ∩ query ≠ ∅``).  This is the third classic
+GiST example from [HNP95] and exercises a key space with no meaningful
+linear order at all — the situation in which the paper's NSN protocol
+and hybrid predicate locking are indispensable and key-range locking is
+hopeless (section 4.2).
+
+Keys are hashable frozensets; non-empty sets only (an empty key would be
+invisible to overlap navigation).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ExtensionError
+from repro.gist.extension import GiSTExtension
+
+
+def as_key_set(pred: object) -> frozenset:
+    """Normalize any iterable of hashables to a frozenset key."""
+    result = pred if isinstance(pred, frozenset) else frozenset(pred)
+    if not result:
+        raise ExtensionError("RD-tree keys and queries must be non-empty")
+    return result
+
+
+class RDTreeExtension(GiSTExtension):
+    """Set-valued extension with overlap queries."""
+
+    name = "rdtree"
+
+    def consistent(self, pred: object, query: object) -> bool:
+        """Intersection test between predicates (contract: :meth:`GiSTExtension.consistent`)."""
+        return bool(as_key_set(pred) & as_key_set(query))
+
+    def union(self, preds: Sequence[object]) -> object:
+        """Tightest covering predicate of the inputs (contract: :meth:`GiSTExtension.union`)."""
+        if not preds:
+            raise ValueError("union of no predicates")
+        result: frozenset = frozenset()
+        for pred in preds:
+            result |= as_key_set(pred)
+        return result
+
+    def penalty(self, bp: object, key: object) -> float:
+        """Cost of admitting the key under this bound (contract: :meth:`GiSTExtension.penalty`)."""
+        return float(len(as_key_set(key) - as_key_set(bp)))
+
+    def pick_split(
+        self, preds: Sequence[object]
+    ) -> tuple[list[int], list[int]]:
+        """Seeded split minimizing element spill between the halves.
+
+        Seeds are the two most dissimilar sets (smallest Jaccard
+        similarity); the rest go to the side they overlap more with,
+        with balance forcing as in the R-tree split.
+        """
+        n = len(preds)
+        if n < 2:
+            raise ValueError("cannot split fewer than two entries")
+        sets = [as_key_set(p) for p in preds]
+        worst = (2.0, 0, 1)
+        for i in range(n):
+            for j in range(i + 1, n):
+                inter = len(sets[i] & sets[j])
+                union = len(sets[i] | sets[j])
+                jaccard = inter / union if union else 1.0
+                if jaccard < worst[0]:
+                    worst = (jaccard, i, j)
+        seed_a, seed_b = worst[1], worst[2]
+        group_a, group_b = [seed_a], [seed_b]
+        bp_a, bp_b = set(sets[seed_a]), set(sets[seed_b])
+        min_fill = max(1, n // 3)
+        remaining = [i for i in range(n) if i not in (seed_a, seed_b)]
+        for i in remaining:
+            left_to_place = n - len(group_a) - len(group_b)
+            if len(group_a) + left_to_place <= min_fill:
+                choose_a = True
+            elif len(group_b) + left_to_place <= min_fill:
+                choose_a = False
+            else:
+                spill_a = len(sets[i] - bp_a)
+                spill_b = len(sets[i] - bp_b)
+                choose_a = spill_a < spill_b or (
+                    spill_a == spill_b and len(group_a) <= len(group_b)
+                )
+            if choose_a:
+                group_a.append(i)
+                bp_a |= sets[i]
+            else:
+                group_b.append(i)
+                bp_b |= sets[i]
+        return group_a, group_b
+
+    def normalize_key(self, key: object) -> object:
+        """Store keys as frozensets (hashable canonical form)."""
+        return as_key_set(key)
+
+    def same(self, a: object, b: object) -> bool:
+        """Predicate equality (contract: :meth:`GiSTExtension.same`)."""
+        return as_key_set(a) == as_key_set(b)
+
+    def eq_query(self, key: object) -> object:
+        # Overlap with the key set is a superset of set equality, so
+        # equality searches navigate by overlap and compare exactly at
+        # the leaf.
+        """Exact-match predicate for a key (contract: :meth:`GiSTExtension.eq_query`)."""
+        return as_key_set(key)

@@ -1,0 +1,150 @@
+"""R-tree as a GiST extension ([Gut84] via [HNP95]).
+
+Keys are 2-D rectangles (points are degenerate rectangles); bounding
+predicates are minimum bounding rectangles; splits use Guttman's
+quadratic algorithm.  This is the extension on which [KB95] — the direct
+ancestor of the paper's concurrency protocol — was originally developed,
+so the spatial benchmarks exercise exactly the non-linear, overlapping
+key space the NSN protocol was invented for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.gist.extension import GiSTExtension
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle [xlo, xhi] x [ylo, yhi]."""
+
+    xlo: float
+    ylo: float
+    xhi: float
+    yhi: float
+
+    def __post_init__(self) -> None:
+        if self.xlo > self.xhi or self.ylo > self.yhi:
+            raise ValueError(f"degenerate rectangle {self}")
+
+    @staticmethod
+    def point(x: float, y: float) -> "Rect":
+        """A degenerate (single-point) instance."""
+        return Rect(x, y, x, y)
+
+    def intersects(self, other: "Rect") -> bool:
+        """Intersection test."""
+        return not (
+            self.xhi < other.xlo
+            or other.xhi < self.xlo
+            or self.yhi < other.ylo
+            or other.yhi < self.ylo
+        )
+
+    def contains(self, other: "Rect") -> bool:
+        """Containment test."""
+        return (
+            self.xlo <= other.xlo
+            and self.ylo <= other.ylo
+            and self.xhi >= other.xhi
+            and self.yhi >= other.yhi
+        )
+
+    def union_with(self, other: "Rect") -> "Rect":
+        """The bounding union of self and other."""
+        return Rect(
+            min(self.xlo, other.xlo),
+            min(self.ylo, other.ylo),
+            max(self.xhi, other.xhi),
+            max(self.yhi, other.yhi),
+        )
+
+    @property
+    def area(self) -> float:
+        """The area (zero for points and lines)."""
+        return (self.xhi - self.xlo) * (self.yhi - self.ylo)
+
+
+class RTreeExtension(GiSTExtension):
+    """2-D spatial extension with Guttman quadratic splits."""
+
+    name = "rtree"
+
+    def consistent(self, pred: object, query: object) -> bool:
+        """Intersection test between predicates (contract: :meth:`GiSTExtension.consistent`)."""
+        return pred.intersects(query)  # type: ignore[union-attr]
+
+    def union(self, preds: Sequence[object]) -> object:
+        """Tightest covering predicate of the inputs (contract: :meth:`GiSTExtension.union`)."""
+        if not preds:
+            raise ValueError("union of no predicates")
+        result = preds[0]
+        for pred in preds[1:]:
+            result = result.union_with(pred)
+        return result
+
+    def penalty(self, bp: object, key: object) -> float:
+        """Cost of admitting the key under this bound (contract: :meth:`GiSTExtension.penalty`)."""
+        return bp.union_with(key).area - bp.area  # type: ignore[union-attr]
+
+    def pick_split(
+        self, preds: Sequence[object]
+    ) -> tuple[list[int], list[int]]:
+        """Guttman's quadratic split.
+
+        Pick the pair of entries whose combined bounding box wastes the
+        most area as seeds, then assign each remaining entry to the
+        group whose MBR grows least, keeping the groups balanced enough
+        that neither side ends up empty.
+        """
+        n = len(preds)
+        if n < 2:
+            raise ValueError("cannot split fewer than two entries")
+        # seed selection
+        worst = (-1.0, 0, 1)
+        for i in range(n):
+            for j in range(i + 1, n):
+                waste = (
+                    preds[i].union_with(preds[j]).area
+                    - preds[i].area
+                    - preds[j].area
+                )
+                if waste > worst[0]:
+                    worst = (waste, i, j)
+        seed_a, seed_b = worst[1], worst[2]
+        group_a, group_b = [seed_a], [seed_b]
+        mbr_a, mbr_b = preds[seed_a], preds[seed_b]
+        remaining = [i for i in range(n) if i not in (seed_a, seed_b)]
+        min_fill = max(1, n // 3)
+        for i in remaining:
+            grow_a = mbr_a.union_with(preds[i]).area - mbr_a.area
+            grow_b = mbr_b.union_with(preds[i]).area - mbr_b.area
+            # force balance if one group is starving
+            left_to_place = n - len(group_a) - len(group_b)
+            if len(group_a) + left_to_place <= min_fill:
+                choose_a = True
+            elif len(group_b) + left_to_place <= min_fill:
+                choose_a = False
+            else:
+                choose_a = grow_a < grow_b or (
+                    grow_a == grow_b and mbr_a.area <= mbr_b.area
+                )
+            if choose_a:
+                group_a.append(i)
+                mbr_a = mbr_a.union_with(preds[i])
+            else:
+                group_b.append(i)
+                mbr_b = mbr_b.union_with(preds[i])
+        return group_a, group_b
+
+    def same(self, a: object, b: object) -> bool:
+        """Predicate equality (contract: :meth:`GiSTExtension.same`)."""
+        return a == b
+
+    def eq_query(self, key: object) -> object:
+        # Rectangle equality is navigated by overlap (a strict superset
+        # of equality, so navigation can never miss the exact key).
+        """Exact-match predicate for a key (contract: :meth:`GiSTExtension.eq_query`)."""
+        return key

@@ -1,0 +1,119 @@
+"""The GiST extension-method interface ([HNP95], summarized in section 2).
+
+An access method is defined by a handful of extension methods; the tree
+template supplies everything else — traversal, splits, BP propagation,
+and (in this library, per the paper) concurrency, isolation and recovery.
+The paper's point is precisely that the extension writer supplies *only*
+these methods ("a few hundred lines of extension code") and never sees a
+latch, lock, predicate attachment or log record.
+
+The four classic methods are ``consistent``, ``union``, ``penalty`` and
+``pickSplit``.  Two small additions the algorithms need:
+
+* ``same(a, b)`` — predicate equality, used by ``updateBP`` to detect
+  that an ancestor's BP needs no further expansion and by the predicate
+  percolation test of Figure 4;
+* ``eq_query(key)`` — the "= key" predicate that unique-index insertion
+  leaves on visited nodes (section 8) and that key deletion searches by
+  (section 7).
+
+``organize`` is the optional intra-node layout hook mentioned at the end
+of section 2 (a B-tree keeps entries sorted to allow binary search).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+
+class GiSTExtension(ABC):
+    """Extension methods specializing the GiST to one access method."""
+
+    #: short name used in diagnostics and the catalog
+    name: str = "gist"
+
+    # ------------------------------------------------------------------
+    # required methods
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def consistent(self, pred: object, query: object) -> bool:
+        """May a key satisfying ``pred`` also satisfy ``query``?
+
+        Both arguments may be stored predicates (BPs or keys) or query
+        predicates; the test is an intersection test and must never
+        return a false negative.  This single method drives search
+        navigation, predicate-lock conflict checking, attachment
+        replication and percolation.
+        """
+
+    @abstractmethod
+    def union(self, preds: Sequence[object]) -> object:
+        """The tightest predicate this extension can express that is
+        implied by every key satisfying any of ``preds``."""
+
+    @abstractmethod
+    def penalty(self, bp: object, key: object) -> float:
+        """Domain-specific cost of inserting ``key`` under a subtree
+        bounded by ``bp`` (typically: how much ``bp`` must grow)."""
+
+    @abstractmethod
+    def pick_split(self, preds: Sequence[object]) -> tuple[list[int], list[int]]:
+        """Partition entry indices into (stay, move-right) for a split.
+
+        Both halves must be non-empty and cover all indices exactly once.
+        """
+
+    @abstractmethod
+    def same(self, a: object, b: object) -> bool:
+        """Predicate equality (used to detect 'BP needs no expansion')."""
+
+    @abstractmethod
+    def eq_query(self, key: object) -> object:
+        """A predicate satisfied by exactly ``key``."""
+
+    # ------------------------------------------------------------------
+    # optional methods
+    # ------------------------------------------------------------------
+    def normalize_key(self, key: object) -> object:
+        """Canonical, *hashable* form of a key, applied once on insert
+        and delete.
+
+        The cursor's rescan deduplication and garbage collection key on
+        ``(key, rid)`` pairs, so stored keys must be hashable; an
+        extension whose natural key type is mutable (e.g. the RD-tree's
+        sets) converts it here.  Identity by default.
+        """
+        return key
+
+    def organize(self, preds: Sequence[object]) -> list[int] | None:
+        """Optional intra-node layout: return a permutation of indices
+        (e.g. sort order for a B-tree), or ``None`` to keep insertion
+        order.  Purely an efficiency hook; correctness never depends on
+        entry order within a node."""
+        return None
+
+    def compress(self, pred: object) -> object:
+        """Optional on-page key compression (identity by default)."""
+        return pred
+
+    def decompress(self, pred: object) -> object:
+        """Inverse of :meth:`compress` (identity by default)."""
+        return pred
+
+    # ------------------------------------------------------------------
+    # derived helpers used by the tree
+    # ------------------------------------------------------------------
+    def covers(self, bp: object, key: object) -> bool:
+        """True if ``bp`` already bounds ``key`` (no expansion needed)."""
+        if bp is None:
+            return True
+        return self.same(self.union([bp, key]), bp)
+
+    def union2(self, a: object, b: object) -> object:
+        """Union of two predicates, tolerating ``None`` (= whole space)."""
+        if a is None:
+            return None
+        if b is None:
+            return None
+        return self.union([a, b])

@@ -1,0 +1,116 @@
+"""Node sequence number sources (sections 3 and 10.1).
+
+The split-detection protocol needs a tree-global, monotonically
+increasing counter: a traversal memorizes its value when it reads a
+parent entry, a split increments it and stamps the new value on the
+original node.  Two implementations, matching section 10.1:
+
+* :class:`CounterNSN` — a dedicated global counter.  It must be made
+  recoverable: restart recovery replays the maximum NSN observed in
+  split records back into it.  Reading it costs one mutex acquisition
+  per qualifying child pointer — the contention the paper worries about.
+* :class:`LSNBasedNSN` — the optimization: NSNs are drawn from the LSN
+  space.  A split's new NSN is the LSN of its own split record (free),
+  and a descending operation can memorize the *parent page's LSN*
+  instead of reading the global counter at all, because parent and child
+  LSNs come from the same source and the parent's LSN exceeds any child
+  NSN whose split it already reflects (footnote 13).
+
+Both expose the same three operations so the tree is oblivious to the
+choice; the ablation benchmark (A1) swaps them and counts global reads.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+
+from repro.storage.page import Page
+from repro.wal.log import LogManager
+
+
+class NSNSource(ABC):
+    """Interface shared by the two NSN generation schemes."""
+
+    #: number of reads of the shared global counter (ablation metric)
+    global_reads: int = 0
+
+    @abstractmethod
+    def current(self) -> int:
+        """Read the current global counter value (operation start)."""
+
+    @abstractmethod
+    def memo_for_children(self, parent: Page) -> int:
+        """Value to memorize when reading child pointers off ``parent``."""
+
+    @abstractmethod
+    def next_for_split(self, split_record_lsn: int) -> int:
+        """The new NSN to stamp on the original node of a split."""
+
+    @abstractmethod
+    def note_recovered(self, nsn: int) -> None:
+        """Restart recovery observed ``nsn``; never generate below it."""
+
+
+class CounterNSN(NSNSource):
+    """A dedicated tree-global counter (the base design of section 3)."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._mutex = threading.Lock()
+        self._value = start
+        self.global_reads = 0
+
+    def current(self) -> int:
+        """Read the current global counter value (contract: :meth:`NSNSource.current`)."""
+        with self._mutex:
+            self.global_reads += 1
+            return self._value
+
+    def memo_for_children(self, parent: Page) -> int:
+        # Base design: every node visit reads the high-frequency global
+        # counter — the synchronization traffic §10.1 sets out to avoid.
+        """Memo value for child pointers (contract: :meth:`NSNSource.memo_for_children`)."""
+        return self.current()
+
+    def next_for_split(self, split_record_lsn: int) -> int:
+        """New NSN for a splitting node (contract: :meth:`NSNSource.next_for_split`)."""
+        with self._mutex:
+            self._value += 1
+            return self._value
+
+    def note_recovered(self, nsn: int) -> None:
+        """Restore the counter floor after restart (contract: :meth:`NSNSource.note_recovered`)."""
+        with self._mutex:
+            self._value = max(self._value, nsn)
+
+
+class LSNBasedNSN(NSNSource):
+    """NSNs drawn from the LSN space (the §10.1 optimization)."""
+
+    def __init__(self, log: LogManager) -> None:
+        self._log = log
+        self.global_reads = 0
+
+    def current(self) -> int:
+        # Reading the end-of-log LSN synchronizes with the log manager —
+        # needed only once per operation, at the root.
+        """Read the current global counter value (contract: :meth:`NSNSource.current`)."""
+        self.global_reads += 1
+        return self._log.end_lsn
+
+    def memo_for_children(self, parent: Page) -> int:
+        # The optimization: memorize the parent's page LSN instead of the
+        # global counter.  Valid because parent and child LSNs come from
+        # the same source; if the parent entry reflects a child's split,
+        # the parent's LSN exceeds that child's NSN (footnote 13).
+        """Memo value for child pointers (contract: :meth:`NSNSource.memo_for_children`)."""
+        return parent.page_lsn
+
+    def next_for_split(self, split_record_lsn: int) -> int:
+        """New NSN for a splitting node (contract: :meth:`NSNSource.next_for_split`)."""
+        return split_record_lsn
+
+    def note_recovered(self, nsn: int) -> None:
+        # LSNs are recovered with the log itself; nothing to do.
+        """Restore the counter floor after restart (contract: :meth:`NSNSource.note_recovered`)."""
+        return None

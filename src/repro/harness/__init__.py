@@ -1,0 +1,22 @@
+"""Benchmark and verification harness: drivers, crash injection, probes."""
+
+from repro.harness.crash import CrashRecoveryHarness, CrashTrialResult
+from repro.harness.driver import (
+    BaselineDriver,
+    DriverMetrics,
+    TransactionalDriver,
+)
+from repro.harness.phantoms import AnomalyReport, run_phantom_campaign
+from repro.harness.report import print_table, render_table
+
+__all__ = [
+    "AnomalyReport",
+    "BaselineDriver",
+    "CrashRecoveryHarness",
+    "CrashTrialResult",
+    "DriverMetrics",
+    "TransactionalDriver",
+    "print_table",
+    "render_table",
+    "run_phantom_campaign",
+]

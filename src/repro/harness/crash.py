@@ -1,0 +1,195 @@
+"""Crash-injection harness (experiment C5, Table 1's end-to-end check).
+
+Drives a randomized transactional workload against a fresh database,
+maintaining an *oracle* of what each transaction did; crashes the
+database at a configurable point (optionally mid-structure-modification,
+via a hook that raises :class:`~repro.errors.CrashError` inside an
+insert); restarts; and verifies that
+
+* the recovered tree passes the full structural invariant check, and
+* its contents equal exactly the union of committed transactions'
+  effects — no lost committed work, no surviving uncommitted work.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.database import Database
+from repro.errors import CrashError, TransactionAbort
+from repro.ext.btree import BTreeExtension, Interval
+from repro.gist.checker import check_tree
+from repro.gist.extension import GiSTExtension
+
+
+@dataclass
+class CrashTrialResult:
+    """Outcome of one crash/recovery trial."""
+
+    seed: int
+    committed_txns: int = 0
+    uncommitted_txns: int = 0
+    crashed_mid_smo: bool = False
+    recovered_ok: bool = False
+    contents_match: bool = False
+    structure_ok: bool = False
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when recovery, contents and structure all checked out."""
+        return self.recovered_ok and self.contents_match and self.structure_ok
+
+
+class CrashRecoveryHarness:
+    """Run seeded crash/recovery trials over a scalar-key GiST."""
+
+    def __init__(
+        self,
+        *,
+        page_capacity: int = 8,
+        key_space: int = 10_000,
+        extension: GiSTExtension | None = None,
+    ) -> None:
+        self.page_capacity = page_capacity
+        self.key_space = key_space
+        self.extension = extension or BTreeExtension()
+
+    def run_trial(
+        self,
+        seed: int,
+        *,
+        txns: int = 20,
+        ops_per_txn: int = 6,
+        commit_probability: float = 0.7,
+        flush_probability: float = 0.3,
+        crash_mid_smo: bool = False,
+    ) -> CrashTrialResult:
+        """One trial: random committed/uncommitted work, crash, verify.
+
+        ``flush_probability`` controls how often the buffer pool flushes
+        between transactions, so trials exercise every mix of on-disk /
+        log-only state.  With ``crash_mid_smo`` the final transaction is
+        interrupted *inside a node split* (before the atomic action's
+        closing record), the hardest case of section 9.
+        """
+        rng = random.Random(seed)
+        result = CrashTrialResult(seed=seed)
+        db = Database(page_capacity=self.page_capacity, lock_timeout=5.0)
+        tree = db.create_tree("crash", self.extension)
+        oracle: dict[object, object] = {}  # rid -> key (committed state)
+        #: rids whose locks are held by abandoned in-flight transactions;
+        #: later transactions must not touch them or they would block on
+        #: a lock that will only vanish at the crash
+        zombie_rids: set[object] = set()
+        counter = 0
+
+        for _ in range(txns):
+            txn = db.begin()
+            will_commit = rng.random() < commit_probability
+            pending_inserts: list[tuple[object, object]] = []
+            pending_deletes: list[object] = []
+            try:
+                for _ in range(ops_per_txn):
+                    deletable = sorted(
+                        set(oracle)
+                        - zombie_rids
+                        - set(pending_deletes)
+                    )
+                    if deletable and rng.random() < 0.3:
+                        rid = rng.choice(deletable)
+                        tree.delete(txn, oracle[rid], rid)
+                        pending_deletes.append(rid)
+                    else:
+                        counter += 1
+                        key = rng.randrange(self.key_space)
+                        rid = f"s{seed}-r{counter}"
+                        tree.insert(txn, key, rid)
+                        pending_inserts.append((key, rid))
+            except TransactionAbort:
+                db.rollback(txn)
+                continue
+            if will_commit:
+                db.commit(txn)
+                result.committed_txns += 1
+                for key, rid in pending_inserts:
+                    oracle[rid] = key
+                for rid in pending_deletes:
+                    oracle.pop(rid, None)
+            else:
+                # leave the transaction in flight: it will simply vanish
+                # in the crash and must be rolled back by restart
+                result.uncommitted_txns += 1
+                zombie_rids.update(rid for _, rid in pending_inserts)
+                zombie_rids.update(pending_deletes)
+            if rng.random() < flush_probability:
+                db.pool.flush_all()
+
+        if crash_mid_smo:
+            result.crashed_mid_smo = self._interrupt_inside_split(
+                db, tree, rng
+            )
+
+        db.crash()
+        try:
+            db2 = db.restart({"crash": self.extension})
+        except Exception as exc:  # pragma: no cover - trial diagnostics
+            result.errors.append(f"restart failed: {exc!r}")
+            return result
+        result.recovered_ok = True
+        tree2 = db2.tree("crash")
+
+        check = check_tree(tree2)
+        result.structure_ok = check.ok
+        result.errors.extend(check.errors)
+
+        txn = db2.begin()
+        found = dict()
+        for key, rid in tree2.search(txn, Interval(0, self.key_space)):
+            found[rid] = key
+        db2.commit(txn)
+        if found == oracle:
+            result.contents_match = True
+        else:
+            missing = sorted(set(oracle) - set(found))[:5]
+            extra = sorted(set(found) - set(oracle))[:5]
+            result.errors.append(
+                f"content mismatch: missing={missing} extra={extra}"
+            )
+        return result
+
+    def _interrupt_inside_split(self, db: Database, tree, rng) -> bool:
+        """Force a crash exception inside a split's atomic action.
+
+        The hook fires after the split record is written but before the
+        enclosing nested top action commits, leaving an *interrupted
+        structure modification* in the log — restart must undo it
+        page-oriented (section 9.2).
+        """
+
+        def bomb(**_ctx: object) -> None:
+            raise CrashError("injected crash inside split")
+
+        db.hooks.on("insert:after-split", bomb)
+        txn = db.begin()
+        interrupted = False
+        try:
+            # hammer inserts until one of them splits a node
+            for i in range(self.page_capacity * 50):
+                tree.insert(
+                    txn,
+                    rng.randrange(self.key_space),
+                    f"smo-{rng.random()}",
+                )
+        except CrashError:
+            interrupted = True
+        finally:
+            db.hooks.clear()
+        return interrupted
+
+    def run_many(self, trials: int, base_seed: int = 0, **kwargs) -> list:
+        """Run ``trials`` seeded trials and return their results."""
+        return [
+            self.run_trial(base_seed + i, **kwargs) for i in range(trials)
+        ]

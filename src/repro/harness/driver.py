@@ -1,0 +1,236 @@
+"""Multi-threaded benchmark drivers.
+
+Two drivers share the same thread scaffolding and metrics:
+
+* :class:`TransactionalDriver` runs generated operation streams against
+  the full system (a :class:`~repro.database.Database` + GiST), batching
+  operations into transactions and handling deadlock aborts with
+  rollback-and-retry;
+* :class:`BaselineDriver` runs the same streams against the
+  non-transactional baseline trees, isolating the concurrency protocol.
+
+Metrics include throughput, latency percentiles and protocol-specific
+counters (rightlink follows, predicate blocks, restarts), which the
+benchmark scripts print as the paper-claim tables of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.database import Database
+from repro.errors import TransactionAbort
+from repro.gist.tree import GiST
+from repro.txn.transaction import IsolationLevel
+from repro.workload.generator import Op, partition_ops
+
+
+@dataclass
+class DriverMetrics:
+    """Aggregated results of one driver run."""
+
+    protocol: str = ""
+    threads: int = 0
+    ops: int = 0
+    commits: int = 0
+    aborts: int = 0
+    elapsed: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ops_per_sec(self) -> float:
+        """Throughput over the measured wall time."""
+        return self.ops / self.elapsed if self.elapsed > 0 else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """The q-quantile of observed operation latencies."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]
+
+    def row(self) -> dict:
+        """The metrics as a flat report row."""
+        return {
+            "protocol": self.protocol,
+            "threads": self.threads,
+            "ops": self.ops,
+            "ops_per_sec": round(self.ops_per_sec, 1),
+            "p50_ms": round(self.latency_percentile(0.50) * 1e3, 3),
+            "p95_ms": round(self.latency_percentile(0.95) * 1e3, 3),
+            "aborts": self.aborts,
+            **self.extra,
+        }
+
+
+def _run_threads(workers: Sequence) -> float:
+    """Start all workers behind a barrier; return elapsed wall time."""
+    barrier = threading.Barrier(len(workers) + 1)
+    threads = []
+    for worker in workers:
+        thread = threading.Thread(target=worker, args=(barrier,), daemon=True)
+        thread.start()
+        threads.append(thread)
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start
+
+
+class TransactionalDriver:
+    """Run an op stream against the full system in worker transactions."""
+
+    def __init__(
+        self,
+        db: Database,
+        tree: GiST,
+        *,
+        isolation: IsolationLevel = IsolationLevel.REPEATABLE_READ,
+        ops_per_txn: int = 4,
+        max_retries: int = 10,
+    ) -> None:
+        self.db = db
+        self.tree = tree
+        self.isolation = isolation
+        self.ops_per_txn = ops_per_txn
+        self.max_retries = max_retries
+
+    def preload(self, ops: Sequence[Op]) -> None:
+        """Apply a pure-insert prefix in one big transaction."""
+        txn = self.db.begin(self.isolation)
+        for op in ops:
+            self.tree.insert(txn, op.key, op.rid)
+        self.db.commit(txn)
+
+    def run(self, ops: Sequence[Op], threads: int) -> DriverMetrics:
+        """Execute and return the collected metrics."""
+        metrics = DriverMetrics(protocol="gist", threads=threads)
+        buckets = partition_ops(ops, threads)
+        lock = threading.Lock()
+
+        def worker_for(bucket: list[Op]):
+            def work(barrier: threading.Barrier) -> None:
+                barrier.wait()
+                local_lat: list[float] = []
+                commits = aborts = done = 0
+                i = 0
+                while i < len(bucket):
+                    batch = bucket[i : i + self.ops_per_txn]
+                    retries = 0
+                    while True:
+                        txn = self.db.begin(self.isolation)
+                        start = time.perf_counter()
+                        try:
+                            for op in batch:
+                                self._apply(txn, op)
+                            self.db.commit(txn)
+                            local_lat.append(
+                                time.perf_counter() - start
+                            )
+                            commits += 1
+                            done += len(batch)
+                            break
+                        except TransactionAbort:
+                            aborts += 1
+                            self._safe_rollback(txn)
+                            retries += 1
+                            if retries > self.max_retries:
+                                break
+                    i += self.ops_per_txn
+                with lock:
+                    metrics.ops += done
+                    metrics.commits += commits
+                    metrics.aborts += aborts
+                    metrics.latencies.extend(local_lat)
+
+            return work
+
+        workers = [worker_for(bucket) for bucket in buckets if bucket]
+        metrics.threads = len(workers)
+        metrics.elapsed = _run_threads(workers)
+        stats = self.tree.stats.snapshot()
+        metrics.extra = {
+            "rightlinks": stats["rightlink_follows"],
+            "splits": stats["splits"],
+            "pred_blocks": stats["predicate_blocks"],
+        }
+        return metrics
+
+    def _apply(self, txn, op: Op) -> None:
+        if op.kind == "insert":
+            self.tree.insert(txn, op.key, op.rid)
+        elif op.kind == "delete":
+            try:
+                self.tree.delete(txn, op.key, op.rid)
+            except Exception as exc:  # key may be gone after retries
+                from repro.errors import KeyNotFoundError
+
+                if not isinstance(exc, KeyNotFoundError):
+                    raise
+        elif op.kind == "search":
+            self.tree.search(txn, op.query)
+        else:
+            raise ValueError(f"unknown op kind {op.kind!r}")
+
+    def _safe_rollback(self, txn) -> None:
+        try:
+            self.db.rollback(txn)
+        except Exception:
+            pass
+
+
+class BaselineDriver:
+    """Run an op stream against a non-transactional baseline tree."""
+
+    def __init__(self, tree) -> None:
+        self.tree = tree
+
+    def preload(self, ops: Sequence[Op]) -> None:
+        """Pure-insert prefix used to build the initial tree."""
+        for op in ops:
+            self.tree.insert(op.key, op.rid)
+
+    def run(self, ops: Sequence[Op], threads: int) -> DriverMetrics:
+        """Execute and return the collected metrics."""
+        metrics = DriverMetrics(
+            protocol=self.tree.protocol, threads=threads
+        )
+        buckets = partition_ops(ops, threads)
+        lock = threading.Lock()
+
+        def worker_for(bucket: list[Op]):
+            def work(barrier: threading.Barrier) -> None:
+                barrier.wait()
+                local_lat: list[float] = []
+                done = 0
+                for op in bucket:
+                    start = time.perf_counter()
+                    if op.kind == "insert":
+                        self.tree.insert(op.key, op.rid)
+                    elif op.kind == "delete":
+                        self.tree.delete(op.key, op.rid)
+                    else:
+                        self.tree.search(op.query)
+                    local_lat.append(time.perf_counter() - start)
+                    done += 1
+                with lock:
+                    metrics.ops += done
+                    metrics.latencies.extend(local_lat)
+
+            return work
+
+        workers = [worker_for(bucket) for bucket in buckets if bucket]
+        metrics.threads = len(workers)
+        metrics.elapsed = _run_threads(workers)
+        metrics.extra = {
+            "rightlinks": self.tree.stats.rightlink_follows,
+            "splits": self.tree.stats.splits,
+            "restarts": self.tree.stats.restarts,
+        }
+        return metrics

@@ -1,0 +1,156 @@
+"""Isolation anomaly detection (experiment C3).
+
+Repeatable read (Degree 3, [Gra78]) demands that re-running a search
+inside one transaction returns the identical result — no phantom
+insertions, no vanished rows.  This harness runs *double-read probes*:
+reader transactions scan a range twice with concurrent writers in
+between, and every difference between the two reads is an anomaly.
+
+Under ``REPEATABLE_READ`` the hybrid mechanism must yield **zero**
+anomalies (writers into the scanned range block on the reader's
+predicate or deadlock-abort); under ``READ_COMMITTED`` anomalies are
+expected and act as the positive control proving the probe can detect
+them.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.database import Database
+from repro.errors import TransactionAbort
+from repro.ext.btree import BTreeExtension, Interval
+from repro.txn.transaction import IsolationLevel
+
+
+@dataclass
+class AnomalyReport:
+    """Result of one double-read probe campaign."""
+
+    isolation: str = ""
+    probes: int = 0
+    anomalies: int = 0
+    phantom_rids: list = field(default_factory=list)
+    reader_aborts: int = 0
+    writer_aborts: int = 0
+    writer_commits: int = 0
+
+    @property
+    def anomaly_rate(self) -> float:
+        """Fraction of probes that observed an anomaly."""
+        return self.anomalies / self.probes if self.probes else 0.0
+
+
+def run_phantom_campaign(
+    *,
+    isolation: IsolationLevel,
+    probes: int = 20,
+    writers: int = 3,
+    key_space: int = 2_000,
+    range_width: int = 200,
+    preload: int = 300,
+    seed: int = 7,
+    page_capacity: int = 16,
+    think_time: float = 0.005,
+) -> AnomalyReport:
+    """Readers double-read random ranges while writers insert/delete.
+
+    Each probe opens a reader transaction, scans ``[lo, lo+width]``,
+    sleeps long enough for writers to interleave, scans again, and
+    compares.  Writers run continuously, inserting into and deleting
+    from the same key space, retrying on deadlock aborts (the expected
+    outcome when they collide with a reader's predicate under RR).
+    """
+    rng = random.Random(seed)
+    db = Database(page_capacity=page_capacity, lock_timeout=20.0)
+    tree = db.create_tree("iso", BTreeExtension())
+    report = AnomalyReport(isolation=isolation.value)
+
+    txn = db.begin()
+    live: list[tuple[int, str]] = []
+    for i in range(preload):
+        key = rng.randrange(key_space)
+        rid = f"pre-{i}"
+        tree.insert(txn, key, rid)
+        live.append((key, rid))
+    db.commit(txn)
+
+    stop = threading.Event()
+    live_lock = threading.Lock()
+    counter = [preload]
+
+    def writer(wid: int) -> None:
+        wrng = random.Random(seed * 1000 + wid)
+        while not stop.is_set():
+            txn = db.begin(isolation)
+            try:
+                if live and wrng.random() < 0.5:
+                    with live_lock:
+                        if not live:
+                            continue
+                        key, rid = live.pop(
+                            wrng.randrange(len(live))
+                        )
+                    tree.delete(txn, key, rid)
+                    db.commit(txn)
+                else:
+                    key = wrng.randrange(key_space)
+                    with live_lock:
+                        counter[0] += 1
+                        rid = f"w{wid}-{counter[0]}"
+                    tree.insert(txn, key, rid)
+                    db.commit(txn)
+                    with live_lock:
+                        live.append((key, rid))
+                report.writer_commits += 1
+            except TransactionAbort:
+                report.writer_aborts += 1
+                try:
+                    db.rollback(txn)
+                except Exception:
+                    pass
+            except Exception:
+                try:
+                    db.rollback(txn)
+                except Exception:
+                    pass
+
+    threads = [
+        threading.Thread(target=writer, args=(w,), daemon=True) for w in range(writers)
+    ]
+    for thread in threads:
+        thread.start()
+
+    try:
+        for _ in range(probes):
+            lo = rng.randrange(key_space - range_width)
+            query = Interval(lo, lo + range_width)
+            txn = db.begin(isolation)
+            try:
+                first = set(tree.search(txn, query))
+                time.sleep(think_time)
+                second = set(tree.search(txn, query))
+                db.commit(txn)
+            except TransactionAbort:
+                report.reader_aborts += 1
+                try:
+                    db.rollback(txn)
+                except Exception:
+                    pass
+                continue
+            report.probes += 1
+            if first != second:
+                report.anomalies += 1
+                report.phantom_rids.extend(
+                    sorted(r for _, r in second.symmetric_difference(first))[
+                        :3
+                    ]
+                )
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+    return report

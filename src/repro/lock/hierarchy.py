@@ -1,0 +1,128 @@
+"""Multi-granularity (hierarchical) locking helper.
+
+The lock manager implements the full IS/IX/S/SIX/X matrix; this helper
+packages the classic two-level protocol on top of it: intention locks on
+a coarse resource (a table / an index) before real locks on the fine
+ones (records), enabling cheap whole-table operations — a bulk loader
+takes one X table lock instead of a million record locks, and a table
+scan under SIX reads everything while still updating selected rows.
+
+The tree algorithms themselves do not use this (the paper's protocols
+are record + predicate based); it serves applications and the harness,
+and doubles as the executable specification of the mode matrix.
+"""
+
+from __future__ import annotations
+
+from repro.lock.manager import LockManager
+from repro.lock.modes import LockMode
+
+
+def table_lock(table: str) -> tuple:
+    """Lock name of a whole table."""
+    return ("table", table)
+
+
+def record_lock(table: str, rid: object) -> tuple:
+    """Lock name of one record within a table."""
+    return ("table-record", table, rid)
+
+
+class HierarchicalLocker:
+    """Two-level intention locking over a :class:`LockManager`."""
+
+    def __init__(self, locks: LockManager) -> None:
+        self.locks = locks
+
+    # ------------------------------------------------------------------
+    # record-level access (with the proper intention on the table)
+    # ------------------------------------------------------------------
+    def read_record(
+        self, xid: int, table: str, rid: object, *, wait: bool = True
+    ) -> bool:
+        """IS on the table, S on the record."""
+        if not self.locks.acquire(
+            xid, table_lock(table), LockMode.IS, wait=wait
+        ):
+            return False
+        if not self.locks.acquire(
+            xid, record_lock(table, rid), LockMode.S, wait=wait
+        ):
+            return False
+        return True
+
+    def write_record(
+        self, xid: int, table: str, rid: object, *, wait: bool = True
+    ) -> bool:
+        """IX on the table, X on the record."""
+        if not self.locks.acquire(
+            xid, table_lock(table), LockMode.IX, wait=wait
+        ):
+            return False
+        if not self.locks.acquire(
+            xid, record_lock(table, rid), LockMode.X, wait=wait
+        ):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # table-level access
+    # ------------------------------------------------------------------
+    def read_table(
+        self, xid: int, table: str, *, wait: bool = True
+    ) -> bool:
+        """S on the whole table: a scan needing no record locks at all.
+
+        Compatible with other readers and with IS, but blocks any
+        writer's IX — the coarse trade the hierarchy exists for.
+        """
+        return self.locks.acquire(
+            xid, table_lock(table), LockMode.S, wait=wait
+        )
+
+    def read_table_with_updates(
+        self, xid: int, table: str, *, wait: bool = True
+    ) -> bool:
+        """SIX: read everything, then X individual records to update."""
+        return self.locks.acquire(
+            xid, table_lock(table), LockMode.SIX, wait=wait
+        )
+
+    def exclusive_table(
+        self, xid: int, table: str, *, wait: bool = True
+    ) -> bool:
+        """X on the whole table (bulk load, drop, reorganization)."""
+        return self.locks.acquire(
+            xid, table_lock(table), LockMode.X, wait=wait
+        )
+
+    # ------------------------------------------------------------------
+    # escalation
+    # ------------------------------------------------------------------
+    def escalate_to_table(
+        self, xid: int, table: str, *, wait: bool = True
+    ) -> bool:
+        """Convert the transaction's intention into a full table lock.
+
+        Classic lock escalation: when a transaction has accumulated many
+        record locks, trade them for one coarse lock.  The record locks
+        are *released* after the table lock is granted (they are then
+        subsumed by it).
+        """
+        granted = self.locks.acquire(
+            xid, table_lock(table), LockMode.X, wait=wait
+        )
+        if not granted:
+            return False
+        for name in list(self.locks.locks_of(xid)):
+            if (
+                isinstance(name, tuple)
+                and name[:2] == ("table-record", table)
+            ):
+                while self.locks.held_mode(xid, name) is not None:
+                    self.locks.release(xid, name)
+        return True
+
+    def release_all(self, xid: int) -> None:
+        """End of transaction: drop every lock ``xid`` holds."""
+        self.locks.release_all(xid)

@@ -1,0 +1,420 @@
+"""The lock manager.
+
+Implements the transactional locking substrate the paper assumes:
+
+* multi-mode locks on arbitrary hashable names (data-record RIDs,
+  node ids for *signaling locks*, owner-transaction ids for blocking
+  "on a predicate" — see section 10.3),
+* FIFO wait queues with immediate-grant conversions,
+* waits-for-graph deadlock detection with youngest-victim abort (the
+  paper relies on this to resolve the unique-index insertion race of
+  section 8),
+* no-wait acquisition (used by node deletion to probe signaling locks,
+  section 7.2).
+
+Unlike latches, locks are held by *transactions*, are organized in a hash
+table, and are checked for deadlock — exactly the distinction footnote 8
+of the paper draws.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import DeadlockError, LockTimeoutError
+from repro.lock.modes import LockMode, compatible, stronger_or_equal, supremum
+
+#: Lock names are arbitrary hashables; by convention the library uses
+#: tuples like ``("rid", rid)``, ``("node", pid)``, ``("txn", xid)``.
+LockName = object
+#: Lock owners are transaction ids (ints) by convention.
+Owner = object
+
+
+@dataclass
+class _Request:
+    owner: Owner
+    mode: LockMode
+    convert_from: LockMode | None = None
+    granted: bool = False
+    victim: bool = False
+    timed_out: bool = False
+
+
+@dataclass
+class _LockHead:
+    name: LockName
+    granted: dict[Owner, LockMode] = field(default_factory=dict)
+    counts: dict[Owner, int] = field(default_factory=dict)
+    queue: deque[_Request] = field(default_factory=deque)
+
+
+class LockStats:
+    """Counters the benchmarks read off the lock manager."""
+
+    def __init__(self) -> None:
+        self.acquires = 0
+        self.waits = 0
+        self.deadlocks = 0
+        self.timeouts = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Thread-safe snapshot of the counters."""
+        return {
+            "acquires": self.acquires,
+            "waits": self.waits,
+            "deadlocks": self.deadlocks,
+            "timeouts": self.timeouts,
+        }
+
+
+class LockManager:
+    """A strict-queue lock manager with deadlock detection.
+
+    Parameters
+    ----------
+    default_timeout:
+        Backstop timeout in seconds for any wait (protects the test suite
+        against undetected hangs).  ``None`` waits forever.
+    """
+
+    def __init__(self, default_timeout: float | None = 30.0) -> None:
+        self.default_timeout = default_timeout
+        self.stats = LockStats()
+        self._mutex = threading.Lock()
+        self._cond = threading.Condition(self._mutex)
+        self._heads: dict[LockName, _LockHead] = {}
+        self._held: dict[Owner, set[LockName]] = {}
+        #: owners currently waiting, mapped to their queued request + head
+        self._waiting: dict[Owner, tuple[_Request, _LockHead]] = {}
+
+    # ------------------------------------------------------------------
+    # acquisition
+    # ------------------------------------------------------------------
+    def acquire(
+        self,
+        owner: Owner,
+        name: LockName,
+        mode: LockMode,
+        *,
+        wait: bool = True,
+        timeout: float | None = None,
+    ) -> bool:
+        """Acquire ``name`` in ``mode`` on behalf of ``owner``.
+
+        Returns ``True`` when granted.  With ``wait=False`` returns
+        ``False`` immediately instead of blocking.  Raises
+        :class:`DeadlockError` if this request closes a waits-for cycle
+        and ``owner`` is chosen as the victim, or
+        :class:`LockTimeoutError` on timeout.
+        """
+        if timeout is None:
+            timeout = self.default_timeout
+        with self._mutex:
+            self.stats.acquires += 1
+            head = self._heads.get(name)
+            if head is None:
+                head = _LockHead(name)
+                self._heads[name] = head
+
+            held = head.granted.get(owner)
+            if held is not None:
+                if stronger_or_equal(held, mode):
+                    head.counts[owner] += 1
+                    return True
+                target = supremum(held, mode)
+                if self._conversion_grantable(head, owner, target):
+                    head.granted[owner] = target
+                    head.counts[owner] += 1
+                    return True
+                if not wait:
+                    return False
+                request = _Request(owner, target, convert_from=held)
+                # Conversions go ahead of ordinary waiters but behind
+                # earlier conversions (FIFO among conversions).
+                insert_at = 0
+                for i, queued in enumerate(head.queue):
+                    if queued.convert_from is None:
+                        break
+                    insert_at = i + 1
+                head.queue.insert(insert_at, request)
+            else:
+                if self._fresh_grantable(head, mode):
+                    self._grant(head, owner, mode)
+                    return True
+                if not wait:
+                    return False
+                request = _Request(owner, mode)
+                head.queue.append(request)
+
+            return self._wait_for_grant(head, request, timeout)
+
+    def _wait_for_grant(
+        self, head: _LockHead, request: _Request, timeout: float | None
+    ) -> bool:
+        """Block (mutex held) until the queued request is granted."""
+        self.stats.waits += 1
+        self._waiting[request.owner] = (request, head)
+        try:
+            self._detect_deadlock()
+            remaining = timeout
+            while not request.granted:
+                if request.victim:
+                    self._remove_request(head, request)
+                    self.stats.deadlocks += 1
+                    raise DeadlockError(
+                        f"transaction {request.owner!r} chosen as deadlock "
+                        f"victim waiting for {head.name!r}"
+                    )
+                if remaining is not None and remaining <= 0:
+                    self._remove_request(head, request)
+                    self.stats.timeouts += 1
+                    raise LockTimeoutError(
+                        f"lock wait timeout on {head.name!r} by "
+                        f"{request.owner!r}"
+                    )
+                slice_ = 0.05 if remaining is None else min(0.05, remaining)
+                self._cond.wait(slice_)
+                if remaining is not None:
+                    remaining -= slice_
+            return True
+        finally:
+            self._waiting.pop(request.owner, None)
+
+    # ------------------------------------------------------------------
+    # release
+    # ------------------------------------------------------------------
+    def release(self, owner: Owner, name: LockName) -> None:
+        """Drop one acquisition of ``name`` by ``owner``."""
+        with self._mutex:
+            head = self._heads.get(name)
+            if head is None or owner not in head.granted:
+                return
+            head.counts[owner] -= 1
+            if head.counts[owner] > 0:
+                return
+            del head.granted[owner]
+            del head.counts[owner]
+            held = self._held.get(owner)
+            if held is not None:
+                held.discard(name)
+            self._promote(head)
+
+    def release_all(self, owner: Owner) -> None:
+        """Release every lock held by ``owner`` (end of transaction)."""
+        with self._mutex:
+            names = list(self._held.get(owner, ()))
+            for name in names:
+                head = self._heads.get(name)
+                if head is None or owner not in head.granted:
+                    continue
+                del head.granted[owner]
+                del head.counts[owner]
+                self._promote(head)
+            self._held.pop(owner, None)
+
+    def replicate_shared(self, src: LockName, dst: LockName) -> list[Owner]:
+        """Copy every S-mode holder of ``src`` onto ``dst``.
+
+        This is the lock-manager extension the paper calls for in
+        section 10.3: when a node splits, the signaling locks set on the
+        original node must be replicated on the new right sibling, so
+        that operations holding *indirect* references (a stacked pointer
+        plus an NSN that will lead them across the rightlink) keep the
+        sibling safe from deletion.  S locks never conflict with each
+        other, so the copies are granted immediately.
+        """
+        copied: list[Owner] = []
+        with self._mutex:
+            src_head = self._heads.get(src)
+            if src_head is None:
+                return copied
+            holders = [
+                (owner, src_head.counts[owner])
+                for owner, mode in src_head.granted.items()
+                if mode is LockMode.S
+            ]
+            if not holders:
+                return copied
+            dst_head = self._heads.get(dst)
+            if dst_head is None:
+                dst_head = _LockHead(dst)
+                self._heads[dst] = dst_head
+            for owner, count in holders:
+                # The full count is copied: each acquisition corresponds
+                # to one stacked pointer whose owner will traverse the
+                # rightlink into ``dst`` and release one count there.
+                if owner in dst_head.granted:
+                    dst_head.counts[owner] += count
+                else:
+                    self._grant(dst_head, owner, LockMode.S)
+                    dst_head.counts[owner] = count
+                copied.append(owner)
+        return copied
+
+    def downgrade(self, owner: Owner, name: LockName, mode: LockMode) -> None:
+        """Reduce the held mode (e.g. X -> S); may unblock waiters."""
+        with self._mutex:
+            head = self._heads.get(name)
+            if head is None or owner not in head.granted:
+                return
+            head.granted[owner] = mode
+            self._promote(head)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def holders(self, name: LockName) -> dict[Owner, LockMode]:
+        """Granted owners of ``name`` with their modes."""
+        with self._mutex:
+            head = self._heads.get(name)
+            return dict(head.granted) if head else {}
+
+    def held_mode(self, owner: Owner, name: LockName) -> LockMode | None:
+        """Mode in which ``owner`` holds ``name``, or ``None``."""
+        with self._mutex:
+            head = self._heads.get(name)
+            return head.granted.get(owner) if head else None
+
+    def locks_of(self, owner: Owner) -> set[LockName]:
+        """All lock names currently held by ``owner``."""
+        with self._mutex:
+            return set(self._held.get(owner, ()))
+
+    def waiting_owners(self) -> list[Owner]:
+        """Owners currently blocked in a lock wait (diagnostics)."""
+        with self._mutex:
+            return list(self._waiting)
+
+    # ------------------------------------------------------------------
+    # internals (mutex held)
+    # ------------------------------------------------------------------
+    def _grant(self, head: _LockHead, owner: Owner, mode: LockMode) -> None:
+        head.granted[owner] = mode
+        head.counts[owner] = head.counts.get(owner, 0) + 1
+        self._held.setdefault(owner, set()).add(head.name)
+
+    def _fresh_grantable(self, head: _LockHead, mode: LockMode) -> bool:
+        if head.queue:
+            return False  # FIFO fairness: never overtake waiters
+        return all(compatible(m, mode) for m in head.granted.values())
+
+    def _conversion_grantable(
+        self, head: _LockHead, owner: Owner, target: LockMode
+    ) -> bool:
+        return all(
+            compatible(m, target)
+            for other, m in head.granted.items()
+            if other != owner
+        )
+
+    def _promote(self, head: _LockHead) -> None:
+        """Grant queued requests now possible, preserving FIFO order."""
+        woke = False
+        while head.queue:
+            request = head.queue[0]
+            if request.convert_from is not None:
+                if not self._conversion_grantable(
+                    head, request.owner, request.mode
+                ):
+                    break
+                head.granted[request.owner] = request.mode
+                head.counts[request.owner] += 1
+            else:
+                if not all(
+                    compatible(m, request.mode)
+                    for m in head.granted.values()
+                ):
+                    break
+                self._grant(head, request.owner, request.mode)
+            head.queue.popleft()
+            request.granted = True
+            woke = True
+        if not head.granted and not head.queue:
+            self._heads.pop(head.name, None)
+        if woke:
+            self._cond.notify_all()
+
+    def _remove_request(self, head: _LockHead, request: _Request) -> None:
+        try:
+            head.queue.remove(request)
+        except ValueError:
+            pass
+        self._promote(head)
+
+    # ------------------------------------------------------------------
+    # deadlock detection (mutex held)
+    # ------------------------------------------------------------------
+    def _blockers_of(self, request: _Request, head: _LockHead) -> set[Owner]:
+        """Owners this queued request is waiting on."""
+        blockers: set[Owner] = set()
+        for other, mode in head.granted.items():
+            if other == request.owner:
+                continue
+            if not compatible(mode, request.mode):
+                blockers.add(other)
+        for queued in head.queue:
+            if queued is request:
+                break
+            if queued.owner != request.owner and not compatible(
+                queued.mode, request.mode
+            ):
+                blockers.add(queued.owner)
+        return blockers
+
+    def _detect_deadlock(self) -> None:
+        """Find waits-for cycles; mark the youngest member a victim.
+
+        "Youngest" is the largest owner id under Python ordering when
+        comparable, else the most recent waiter.
+        """
+        graph: dict[Owner, set[Owner]] = {}
+        for owner, (request, head) in self._waiting.items():
+            graph[owner] = self._blockers_of(request, head)
+
+        visited: set[Owner] = set()
+        for start in list(graph):
+            if start in visited:
+                continue
+            cycle = self._find_cycle(graph, start, visited)
+            if not cycle:
+                continue
+            victim = self._pick_victim(cycle)
+            entry = self._waiting.get(victim)
+            if entry is not None:
+                entry[0].victim = True
+                self._cond.notify_all()
+
+    @staticmethod
+    def _find_cycle(
+        graph: dict[Owner, set[Owner]], start: Owner, visited: set[Owner]
+    ) -> list[Owner] | None:
+        path: list[Owner] = []
+        on_path: set[Owner] = set()
+
+        def dfs(node: Owner) -> list[Owner] | None:
+            visited.add(node)
+            path.append(node)
+            on_path.add(node)
+            for neighbor in graph.get(node, ()):
+                if neighbor in on_path:
+                    idx = path.index(neighbor)
+                    return path[idx:]
+                if neighbor in graph and neighbor not in visited:
+                    found = dfs(neighbor)
+                    if found:
+                        return found
+            path.pop()
+            on_path.discard(node)
+            return None
+
+        return dfs(start)
+
+    @staticmethod
+    def _pick_victim(cycle: list[Owner]) -> Owner:
+        try:
+            return max(cycle)  # type: ignore[type-var]
+        except TypeError:
+            return cycle[-1]

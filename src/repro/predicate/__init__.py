@@ -1,0 +1,15 @@
+"""Predicate locking: node-attached predicates for phantom avoidance."""
+
+from repro.predicate.manager import (
+    PredicateKind,
+    PredicateLock,
+    PredicateManager,
+    PredicateStats,
+)
+
+__all__ = [
+    "PredicateKind",
+    "PredicateLock",
+    "PredicateManager",
+    "PredicateStats",
+]

@@ -1,0 +1,25 @@
+"""Storage substrate: pages, the simulated disk, and the buffer pool."""
+
+from repro.storage.buffer import BufferPool, Frame
+from repro.storage.disk import IOStats, PageStore
+from repro.storage.page import (
+    NO_PAGE,
+    InternalEntry,
+    LeafEntry,
+    Page,
+    PageId,
+    PageKind,
+)
+
+__all__ = [
+    "NO_PAGE",
+    "BufferPool",
+    "Frame",
+    "IOStats",
+    "InternalEntry",
+    "LeafEntry",
+    "Page",
+    "PageId",
+    "PageKind",
+    "PageStore",
+]

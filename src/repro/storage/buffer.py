@@ -1,0 +1,293 @@
+"""Buffer pool with pinning, per-frame latches and WAL enforcement.
+
+The buffer pool is the substrate that makes the paper's latch protocol
+meaningful: tree nodes are latched *through* their buffer frames, pages
+are fetched from the simulated disk on miss (paying I/O latency **without
+any tree latch held**, per the protocol), and dirty pages are written back
+under the write-ahead-logging rule — the log is flushed up to the page's
+LSN before the page image reaches disk.
+
+Crash simulation (:meth:`BufferPool.crash`) simply discards every frame:
+whatever the WAL rule forced to disk is all that survives, which is
+exactly the state restart recovery (section 9) must cope with.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.errors import BufferPoolError
+from repro.storage.disk import PageStore
+from repro.storage.page import Page, PageId, PageKind
+from repro.sync.latch import LatchMode, SXLatch
+
+
+class Frame:
+    """A buffer frame: one cached page plus its pin count and latch."""
+
+    __slots__ = ("page", "pin_count", "dirty", "rec_lsn", "latch", "_clock")
+
+    def __init__(self, page: Page) -> None:
+        self.page = page
+        self.pin_count = 0
+        self.dirty = False
+        #: LSN of the record that first dirtied this page since its last
+        #: flush — the recLSN that goes into the dirty page table.
+        self.rec_lsn: int | None = None
+        self.latch = SXLatch(name=page.pid)
+        self._clock = 0
+
+    def mark_dirty(self, lsn: int) -> None:
+        """Record that a log record with ``lsn`` modified this page."""
+        if not self.dirty:
+            self.dirty = True
+            self.rec_lsn = lsn
+        self.page.page_lsn = max(self.page.page_lsn, lsn)
+
+
+class BufferPool:
+    """A fixed-capacity page cache over a :class:`PageStore`.
+
+    Parameters
+    ----------
+    store:
+        The backing page store.
+    capacity:
+        Maximum number of resident frames.  Must comfortably exceed the
+        largest working set a single operation pins at once — a
+        recursive split cascade latches roughly two frames per tree
+        level — so a few dozen frames is the practical floor for deep
+        trees (the pool raises :class:`BufferPoolError` rather than
+        deadlocking when it cannot make room).
+    wal_flush:
+        Callable invoked as ``wal_flush(lsn)`` before any dirty page with
+        ``page_lsn == lsn`` is written to disk.  Wired to
+        ``LogManager.flush`` by the database assembly; defaults to a no-op
+        so the pool is usable stand-alone.
+    """
+
+    def __init__(
+        self,
+        store: PageStore,
+        capacity: int = 1024,
+        wal_flush: Callable[[int], None] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise BufferPoolError("buffer pool capacity must be >= 1")
+        self.store = store
+        self.capacity = capacity
+        self.wal_flush = wal_flush or (lambda lsn: None)
+        self._mutex = threading.Lock()
+        self._frames: dict[PageId, Frame] = {}
+        self._loading: dict[PageId, threading.Event] = {}
+        self._writeback: dict[PageId, threading.Event] = {}
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # pin / unpin
+    # ------------------------------------------------------------------
+    def pin(self, pid: PageId) -> Frame:
+        """Pin ``pid``, fetching it from disk on a miss.
+
+        The disk read (the slow part) happens with **no pool mutex and no
+        latch held**; concurrent pinners of the same page coalesce onto a
+        single read.
+        """
+        while True:
+            wait_for: threading.Event | None = None
+            with self._mutex:
+                frame = self._frames.get(pid)
+                if frame is not None:
+                    frame.pin_count += 1
+                    self._tick += 1
+                    frame._clock = self._tick
+                    self.hits += 1
+                    return frame
+                if pid in self._writeback:
+                    wait_for = self._writeback[pid]
+                elif pid in self._loading:
+                    wait_for = self._loading[pid]
+                else:
+                    event = threading.Event()
+                    self._loading[pid] = event
+                    self.misses += 1
+            if wait_for is not None:
+                wait_for.wait()
+                continue
+            # We own the load for this pid.
+            try:
+                page = self.store.read(pid)
+                frame = Frame(page)
+                frame.pin_count = 1
+                with self._mutex:
+                    self._make_room_locked()
+                    self._frames[pid] = frame
+                    self._tick += 1
+                    frame._clock = self._tick
+                return frame
+            finally:
+                with self._mutex:
+                    event = self._loading.pop(pid, None)
+                if event is not None:
+                    event.set()
+
+    def unpin(self, pid: PageId) -> None:
+        """Drop one pin on ``pid``."""
+        with self._mutex:
+            frame = self._frames.get(pid)
+            if frame is None or frame.pin_count <= 0:
+                raise BufferPoolError(f"unpin of page {pid} that is not pinned")
+            frame.pin_count -= 1
+
+    def new_frame(self, kind: PageKind, level: int = 0) -> Frame:
+        """Allocate a brand-new page and return its frame, pinned once."""
+        page = self.store.new_page(kind, level)
+        frame = Frame(page)
+        frame.pin_count = 1
+        with self._mutex:
+            self._make_room_locked()
+            self._frames[page.pid] = frame
+            self._tick += 1
+            frame._clock = self._tick
+        return frame
+
+    def adopt(self, page: Page) -> Frame:
+        """Install an externally built page image (recovery redo path)."""
+        frame = Frame(page)
+        with self._mutex:
+            if page.pid in self._frames:
+                raise BufferPoolError(f"page {page.pid} already resident")
+            self._make_room_locked()
+            self._frames[page.pid] = frame
+            self._tick += 1
+            frame._clock = self._tick
+        return frame
+
+    # ------------------------------------------------------------------
+    # fix/unfix: pin + latch as one operation
+    # ------------------------------------------------------------------
+    def fix(self, pid: PageId, mode: LatchMode) -> Frame:
+        """Pin *and latch* the page.  Pair with :meth:`unfix`."""
+        frame = self.pin(pid)
+        frame.latch.acquire(mode)
+        return frame
+
+    def unfix(self, frame: Frame) -> None:
+        """Release the latch and drop the pin taken by :meth:`fix`."""
+        frame.latch.release()
+        self.unpin(frame.page.pid)
+
+    @contextmanager
+    def fixed(self, pid: PageId, mode: LatchMode) -> Iterator[Frame]:
+        """Context-manager form of :meth:`fix` / :meth:`unfix`."""
+        frame = self.fix(pid, mode)
+        try:
+            yield frame
+        finally:
+            self.unfix(frame)
+
+    # ------------------------------------------------------------------
+    # write-back
+    # ------------------------------------------------------------------
+    def flush_page(self, pid: PageId) -> None:
+        """Write one dirty page to disk under the WAL rule."""
+        with self._mutex:
+            frame = self._frames.get(pid)
+            if frame is None or not frame.dirty:
+                return
+            snapshot = frame.page.snapshot()
+            frame.dirty = False
+            frame.rec_lsn = None
+        self.wal_flush(snapshot.page_lsn)
+        self.store.write(snapshot)
+
+    def flush_all(self) -> None:
+        """Flush every dirty page (clean shutdown / checkpoint end)."""
+        with self._mutex:
+            dirty = [pid for pid, f in self._frames.items() if f.dirty]
+        for pid in dirty:
+            self.flush_page(pid)
+
+    def dirty_page_table(self) -> dict[PageId, int]:
+        """``{pid: recLSN}`` for every dirty page (checkpointing)."""
+        with self._mutex:
+            return {
+                pid: frame.rec_lsn
+                for pid, frame in self._frames.items()
+                if frame.dirty and frame.rec_lsn is not None
+            }
+
+    # ------------------------------------------------------------------
+    # crash simulation
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Lose all buffered state, as a power failure would.
+
+        Nothing is flushed; only page images the WAL rule already forced
+        to disk survive.  The caller must have quiesced worker threads.
+        """
+        with self._mutex:
+            self._frames.clear()
+            for event in self._loading.values():
+                event.set()
+            self._loading.clear()
+            for event in self._writeback.values():
+                event.set()
+            self._writeback.clear()
+
+    def resident(self, pid: PageId) -> bool:
+        """True if the page currently has a frame in the pool."""
+        with self._mutex:
+            return pid in self._frames
+
+    def drop(self, pid: PageId) -> None:
+        """Discard a (clean, unpinned) frame, e.g. after freeing a node."""
+        with self._mutex:
+            frame = self._frames.get(pid)
+            if frame is None:
+                return
+            if frame.pin_count > 0:
+                raise BufferPoolError(f"dropping pinned page {pid}")
+            del self._frames[pid]
+
+    # ------------------------------------------------------------------
+    # eviction (callers hold self._mutex)
+    # ------------------------------------------------------------------
+    def _make_room_locked(self) -> None:
+        while len(self._frames) >= self.capacity:
+            victim = self._pick_victim_locked()
+            if victim is None:
+                raise BufferPoolError(
+                    "buffer pool full and every frame is pinned"
+                )
+            pid, frame = victim
+            del self._frames[pid]
+            if frame.dirty:
+                event = threading.Event()
+                self._writeback[pid] = event
+                snapshot = frame.page.snapshot()
+                self._mutex.release()
+                try:
+                    self.wal_flush(snapshot.page_lsn)
+                    self.store.write(snapshot)
+                finally:
+                    self._mutex.acquire()
+                    self._writeback.pop(pid, None)
+                    event.set()
+            self.evictions += 1
+
+    def _pick_victim_locked(self) -> tuple[PageId, Frame] | None:
+        candidates = [
+            (frame._clock, pid, frame)
+            for pid, frame in self._frames.items()
+            if frame.pin_count == 0 and not frame.latch.holders()
+        ]
+        if not candidates:
+            return None
+        _, pid, frame = min(candidates)
+        return pid, frame

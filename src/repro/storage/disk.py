@@ -1,0 +1,195 @@
+"""The simulated disk: a persistent page store with I/O latency.
+
+The paper's headline concurrency property is that **no node latches are
+held during I/Os**.  To make that property measurable in pure Python we
+model the disk as an in-memory dict of page snapshots with a configurable
+per-operation latency (``io_delay``), implemented as a real sleep.  A
+sleep releases the GIL, so protocols that hold latches across I/O (the
+lock-coupling and subtree-locking baselines) genuinely serialize, while
+the link protocol genuinely overlaps I/O with other threads' work.  This
+is the substitution documented in DESIGN.md §2.
+
+The store also provides the persistence boundary for crash simulation:
+whatever was explicitly written here survives :meth:`BufferPool.crash`;
+everything else is lost and must be reconstructed by restart recovery.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import PageNotFoundError
+from repro.storage.page import NO_PAGE, Page, PageId, PageKind
+
+
+class IOStats:
+    """Counters for disk traffic (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+        self.frees = 0
+
+    def record_read(self) -> None:
+        """Count one page read."""
+        with self._lock:
+            self.reads += 1
+
+    def record_write(self) -> None:
+        """Count one page write."""
+        with self._lock:
+            self.writes += 1
+
+    def record_alloc(self) -> None:
+        """Count one page allocation."""
+        with self._lock:
+            self.allocations += 1
+
+    def record_free(self) -> None:
+        """Count one page free."""
+        with self._lock:
+            self.frees += 1
+
+    def snapshot(self) -> dict[str, int]:
+        """Thread-safe snapshot of the counters."""
+        with self._lock:
+            return {
+                "reads": self.reads,
+                "writes": self.writes,
+                "allocations": self.allocations,
+                "frees": self.frees,
+            }
+
+
+class PageStore:
+    """A crash-consistent page store ("the disk").
+
+    Parameters
+    ----------
+    io_delay:
+        Seconds of simulated latency per read/write.  ``0.0`` disables the
+        sleep entirely (unit tests); benchmarks sweep this knob.
+    page_capacity:
+        Default entry capacity for newly allocated pages.
+    """
+
+    def __init__(self, io_delay: float = 0.0, page_capacity: int = 64) -> None:
+        self.io_delay = io_delay
+        self.page_capacity = page_capacity
+        self.stats = IOStats()
+        self._lock = threading.Lock()
+        self._pages: dict[PageId, Page] = {}
+        self._allocated: set[PageId] = set()
+        self._free_list: list[PageId] = []
+        self._next_pid: PageId = 0
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def allocate(self) -> PageId:
+        """Allocate a page id, reusing freed pages first.
+
+        Reuse is deliberate: it is what makes dangling pointers after a
+        node deletion dangerous (section 7.2) and hence what the drain
+        technique protects against.
+        """
+        with self._lock:
+            if self._free_list:
+                pid = self._free_list.pop()
+            else:
+                pid = self._next_pid
+                self._next_pid += 1
+            self._allocated.add(pid)
+        self.stats.record_alloc()
+        return pid
+
+    def free(self, pid: PageId) -> None:
+        """Return a page to the free list (it may be reallocated)."""
+        with self._lock:
+            self._allocated.discard(pid)
+            self._free_list.append(pid)
+            page = self._pages.get(pid)
+            if page is not None:
+                page.kind = PageKind.FREE
+        self.stats.record_free()
+
+    def mark_allocated(self, pid: PageId) -> None:
+        """Recovery redo of a Get-Page record: mark ``pid`` unavailable."""
+        with self._lock:
+            self._allocated.add(pid)
+            if pid in self._free_list:
+                self._free_list.remove(pid)
+            self._next_pid = max(self._next_pid, pid + 1)
+
+    def mark_free(self, pid: PageId) -> None:
+        """Recovery redo of a Free-Page record: mark ``pid`` available."""
+        with self._lock:
+            if pid in self._allocated:
+                self._allocated.discard(pid)
+                self._free_list.append(pid)
+
+    def is_allocated(self, pid: PageId) -> bool:
+        """True if ``pid`` is currently allocated."""
+        with self._lock:
+            return pid in self._allocated
+
+    def allocated_pids(self) -> list[PageId]:
+        """Sorted list of all allocated page ids."""
+        with self._lock:
+            return sorted(self._allocated)
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def read(self, pid: PageId) -> Page:
+        """Read a page snapshot from disk (pays ``io_delay``)."""
+        self._io_stall()
+        self.stats.record_read()
+        with self._lock:
+            page = self._pages.get(pid)
+            if page is None:
+                raise PageNotFoundError(f"page {pid} has never been written")
+            return page.snapshot()
+
+    def write(self, page: Page) -> None:
+        """Write a page snapshot to disk (pays ``io_delay``)."""
+        self._io_stall()
+        self.stats.record_write()
+        snapshot = page.snapshot()
+        with self._lock:
+            self._pages[page.pid] = snapshot
+
+    def exists(self, pid: PageId) -> bool:
+        """True if the page has ever been flushed to disk."""
+        with self._lock:
+            return pid in self._pages
+
+    def new_page(self, kind: PageKind, level: int = 0) -> Page:
+        """Allocate an id and build a fresh in-memory page image.
+
+        The image is *not* written to disk; the caller owns flushing it
+        through the buffer pool under the WAL protocol.
+        """
+        pid = self.allocate()
+        return Page(
+            pid=pid,
+            kind=kind,
+            level=level,
+            rightlink=NO_PAGE,
+            capacity=self.page_capacity,
+        )
+
+    def _io_stall(self) -> None:
+        if self.io_delay > 0.0:
+            time.sleep(self.io_delay)
+
+    # ------------------------------------------------------------------
+    # crash / inspection support
+    # ------------------------------------------------------------------
+    def disk_image(self) -> dict[PageId, Page]:
+        """Snapshots of every page currently on disk (for assertions)."""
+        with self._lock:
+            return {pid: page.snapshot() for pid, page in self._pages.items()}

@@ -1,0 +1,166 @@
+"""Share/exclusive latches.
+
+Latches (section 3, footnote 8 of the paper) differ from locks: they are
+addressed physically, are cheap to set, are *not* checked for deadlock, and
+do not interact with the lock manager.  The tree algorithms are responsible
+for using them in a deadlock-free pattern; the central rule the paper
+establishes is that **no latch is ever held across an I/O or across a lock
+wait**.
+
+:class:`SXLatch` implements a classic share/exclusive latch on top of a
+condition variable.  Writers are given preference over new readers once a
+writer is queued, which avoids writer starvation under read-heavy loads.
+
+The latch deliberately refuses re-entrant acquisition: a thread asking for
+a latch it already holds is a protocol bug in the caller, and surfacing it
+immediately (as :class:`~repro.errors.LatchError`) is far more useful than
+silently self-deadlocking.
+"""
+
+from __future__ import annotations
+
+import threading
+from enum import Enum
+
+from repro.errors import LatchError
+
+
+class LatchMode(Enum):
+    """Latch modes: shared (many readers) or exclusive (single writer)."""
+
+    S = "S"
+    X = "X"
+
+
+class SXLatch:
+    """A share/exclusive latch with writer preference.
+
+    Parameters
+    ----------
+    name:
+        Optional diagnostic name (usually the page id the latch guards).
+    """
+
+    __slots__ = (
+        "name",
+        "_cond",
+        "_readers",
+        "_writer",
+        "_waiting_writers",
+        "_acquisitions",
+    )
+
+    def __init__(self, name: object = None) -> None:
+        self.name = name
+        self._cond = threading.Condition()
+        self._readers: set[int] = set()
+        self._writer: int | None = None
+        self._waiting_writers = 0
+        #: total successful acquisitions, for instrumentation/benchmarks
+        self._acquisitions = 0
+
+    # ------------------------------------------------------------------
+    # acquisition / release
+    # ------------------------------------------------------------------
+    def acquire(self, mode: LatchMode, *, nowait: bool = False) -> bool:
+        """Acquire the latch in ``mode``.
+
+        With ``nowait=True`` the call never blocks and returns ``False``
+        if the latch is unavailable; otherwise it blocks until granted and
+        returns ``True``.
+        """
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me or me in self._readers:
+                raise LatchError(
+                    f"thread {me} re-acquiring latch {self.name!r} it already holds"
+                )
+            if mode is LatchMode.S:
+                if nowait and not self._can_grant_s():
+                    return False
+                while not self._can_grant_s():
+                    self._cond.wait()
+                self._readers.add(me)
+            else:
+                if nowait and not self._can_grant_x():
+                    return False
+                self._waiting_writers += 1
+                try:
+                    while not self._can_grant_x():
+                        self._cond.wait()
+                finally:
+                    self._waiting_writers -= 1
+                self._writer = me
+            self._acquisitions += 1
+            return True
+
+    def release(self) -> None:
+        """Release the latch held by the calling thread."""
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer = None
+            elif me in self._readers:
+                self._readers.discard(me)
+            else:
+                raise LatchError(
+                    f"thread {me} releasing latch {self.name!r} it does not hold"
+                )
+            self._cond.notify_all()
+
+    def upgrade(self) -> bool:
+        """Try to upgrade an S latch to X without an intervening release.
+
+        Returns ``False`` (leaving the S latch in place) if other readers
+        are present; upgrading then would risk an undetected latch
+        deadlock, which the caller must avoid by releasing and
+        re-acquiring in X mode (re-validating the node afterwards).
+        """
+        me = threading.get_ident()
+        with self._cond:
+            if me not in self._readers:
+                raise LatchError(
+                    f"thread {me} upgrading latch {self.name!r} without S latch"
+                )
+            if len(self._readers) > 1 or self._writer is not None:
+                return False
+            self._readers.discard(me)
+            self._writer = me
+            return True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def held_by_me(self) -> LatchMode | None:
+        """Return the mode in which the calling thread holds the latch."""
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                return LatchMode.X
+            if me in self._readers:
+                return LatchMode.S
+            return None
+
+    def holders(self) -> tuple[int, ...]:
+        """Thread idents currently holding the latch (diagnostics)."""
+        with self._cond:
+            if self._writer is not None:
+                return (self._writer,)
+            return tuple(self._readers)
+
+    @property
+    def acquisitions(self) -> int:
+        """Number of successful acquisitions since construction."""
+        return self._acquisitions
+
+    def _can_grant_s(self) -> bool:
+        return self._writer is None and self._waiting_writers == 0
+
+    def _can_grant_x(self) -> bool:
+        return self._writer is None and not self._readers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SXLatch(name={self.name!r}, writer={self._writer}, "
+            f"readers={sorted(self._readers)})"
+        )

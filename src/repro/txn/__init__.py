@@ -1,0 +1,18 @@
+"""Transactions: lifecycle, two-phase locking, savepoints, rollback."""
+
+from repro.txn.manager import TransactionManager, txn_lock_name
+from repro.txn.transaction import (
+    IsolationLevel,
+    Savepoint,
+    Transaction,
+    TxnState,
+)
+
+__all__ = [
+    "IsolationLevel",
+    "Savepoint",
+    "Transaction",
+    "TransactionManager",
+    "TxnState",
+    "txn_lock_name",
+]

@@ -1,0 +1,192 @@
+"""Transactions and savepoints.
+
+A :class:`Transaction` is the unit of atomicity and of two-phase locking.
+It tracks, besides its id and state:
+
+* the **signaling locks** it holds on tree nodes (section 7.2) — S-mode
+  node locks set when a traversal stacks a pointer to the node, normally
+  released when the node is visited, except (a) the insert target leaf's
+  lock, which lives to end of transaction, and (b) locks *pinned* by a
+  savepoint (section 10.2), which must survive until the savepoint can no
+  longer be rolled back to;
+* its open **cursors**, whose positions must be restorable on partial
+  rollback (section 10.2);
+* its **savepoints**: the log position to roll back to plus snapshots of
+  the cursor stacks and the then-held signaling locks.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import TransactionStateError
+
+
+class IsolationLevel(Enum):
+    """Supported degrees of isolation ([Gra78], section 4).
+
+    ``REPEATABLE_READ`` is Degree 3 (the paper's subject): record locks
+    held to end of transaction plus node-attached predicate locks.
+    ``READ_COMMITTED`` is Degree 2: instant-duration record locks, no
+    predicates.  ``READ_UNCOMMITTED`` is Degree 1: no read locks at all
+    — scans may see uncommitted data; provided for completeness and as
+    the fastest possible read path.
+    """
+
+    READ_UNCOMMITTED = "read-uncommitted"
+    READ_COMMITTED = "read-committed"
+    REPEATABLE_READ = "repeatable-read"
+
+
+class TxnState(Enum):
+    """Transaction lifecycle states."""
+
+    ACTIVE = "active"
+    ROLLING_BACK = "rolling-back"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass(eq=False)
+class Savepoint:
+    """A rollback target inside a transaction (section 10.2).
+
+    Identity semantics (``eq=False``): two savepoints taken at the same
+    log position are still distinct rollback targets.
+    """
+
+    name: str
+    lsn: int
+    #: cursor -> snapshot of its traversal stack at savepoint time
+    cursor_stacks: dict = field(default_factory=dict)
+    #: signaling-lock names held at savepoint time: must not be released
+    #: by node visits until the savepoint is popped
+    pinned_signaling: set = field(default_factory=set)
+
+
+class Transaction:
+    """One transaction.  Created by :class:`~repro.txn.manager.TransactionManager`."""
+
+    def __init__(
+        self, xid: int, isolation: IsolationLevel = IsolationLevel.REPEATABLE_READ
+    ) -> None:
+        self.xid = xid
+        self.isolation = isolation
+        self.state = TxnState.ACTIVE
+        self._mutex = threading.Lock()
+        #: signaling-lock names -> acquisition count (section 7.2)
+        self._signaling: dict[object, int] = {}
+        #: signaling locks pinned by live savepoints
+        self._pinned_signaling: set[object] = set()
+        #: signaling locks that must survive to end of transaction
+        #: (the insert target leaf rule, section 7.2 / section 9)
+        self._eot_signaling: set[object] = set()
+        #: open cursors registered for savepoint restoration
+        self._cursors: list = []
+        self.savepoints: list[Savepoint] = []
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def is_active(self) -> bool:
+        """True while the transaction can still be committed or rolled back."""
+        return self.state in (TxnState.ACTIVE, TxnState.ROLLING_BACK)
+
+    def require_active(self) -> None:
+        """Raise unless the transaction accepts new operations."""
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionStateError(
+                f"transaction {self.xid} is {self.state.value}, not active"
+            )
+
+    @property
+    def repeatable_read(self) -> bool:
+        """True at Degree 3 isolation."""
+        return self.isolation is IsolationLevel.REPEATABLE_READ
+
+    # ------------------------------------------------------------------
+    # signaling-lock bookkeeping (locks themselves live in LockManager)
+    # ------------------------------------------------------------------
+    def note_signaling(self, name: object) -> None:
+        """Record one signaling-lock acquisition for bookkeeping."""
+        with self._mutex:
+            self._signaling[name] = self._signaling.get(name, 0) + 1
+
+    def may_release_signaling(self, name: object) -> bool:
+        """True if a node visit may release this signaling lock now."""
+        with self._mutex:
+            if name in self._pinned_signaling or name in self._eot_signaling:
+                return False
+            return self._signaling.get(name, 0) > 0
+
+    def drop_signaling(self, name: object) -> None:
+        """Record one signaling-lock release."""
+        with self._mutex:
+            count = self._signaling.get(name, 0) - 1
+            if count <= 0:
+                self._signaling.pop(name, None)
+            else:
+                self._signaling[name] = count
+
+    def pin_signaling_to_eot(self, name: object) -> None:
+        """Retain a signaling lock until end of transaction (§7.2)."""
+        with self._mutex:
+            self._eot_signaling.add(name)
+
+    def signaling_names(self) -> set[object]:
+        """Names of all signaling locks this transaction tracks."""
+        with self._mutex:
+            return set(self._signaling) | set(self._eot_signaling)
+
+    # ------------------------------------------------------------------
+    # cursors / savepoints
+    # ------------------------------------------------------------------
+    def register_cursor(self, cursor: object) -> None:
+        """Track an open cursor for savepoint position snapshots."""
+        with self._mutex:
+            self._cursors.append(cursor)
+
+    def unregister_cursor(self, cursor: object) -> None:
+        """Stop tracking a closed cursor."""
+        with self._mutex:
+            if cursor in self._cursors:
+                self._cursors.remove(cursor)
+
+    def open_cursors(self) -> list:
+        """The currently registered cursors."""
+        with self._mutex:
+            return list(self._cursors)
+
+    def add_savepoint(self, savepoint: Savepoint) -> None:
+        """Register a savepoint and pin its signaling locks."""
+        with self._mutex:
+            self.savepoints.append(savepoint)
+            self._pinned_signaling |= savepoint.pinned_signaling
+
+    def pop_savepoints_after(self, savepoint: Savepoint) -> None:
+        """Discard savepoints established after ``savepoint``."""
+        with self._mutex:
+            while self.savepoints and self.savepoints[-1] is not savepoint:
+                self.savepoints.pop()
+            self._recompute_pins_locked()
+
+    def release_savepoint(self, savepoint: Savepoint) -> None:
+        """Drop a savepoint (its pins are recomputed away)."""
+        with self._mutex:
+            if savepoint in self.savepoints:
+                self.savepoints.remove(savepoint)
+            self._recompute_pins_locked()
+
+    def _recompute_pins_locked(self) -> None:
+        self._pinned_signaling = set()
+        for savepoint in self.savepoints:
+            self._pinned_signaling |= savepoint.pinned_signaling
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Transaction(xid={self.xid}, {self.isolation.value}, "
+            f"{self.state.value})"
+        )

@@ -1,0 +1,207 @@
+"""The log manager.
+
+An append-only, in-memory write-ahead log with an explicit durability
+boundary: records with ``lsn <= flushed_lsn`` survive a crash, the rest
+are lost (:meth:`LogManager.crash` truncates to the boundary).  LSNs are
+monotonically increasing integers starting at 1, which also makes them a
+valid NSN source (the section 10.1 optimization).
+
+The manager keeps the per-transaction backchain (``prev_lsn``) and
+implements **nested top actions**: :meth:`begin_nta` memorizes the
+transaction's current last LSN and :meth:`end_nta` writes a
+:class:`~repro.wal.records.DummyClr` whose ``undo_next`` points back to
+it, so a later rollback of the transaction skips the whole structure
+modification (section 9.1).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterator
+
+from repro.errors import WALError
+from repro.wal.records import NULL_LSN, DummyClr, LogRecord
+
+
+class LogStats:
+    """Counters the benchmarks read off the log manager."""
+
+    def __init__(self) -> None:
+        self.appends = 0
+        self.flushes = 0
+        self.forced_records = 0
+        self.group_commits = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Thread-safe snapshot of the counters."""
+        return {
+            "appends": self.appends,
+            "flushes": self.flushes,
+            "forced_records": self.forced_records,
+            "group_commits": self.group_commits,
+        }
+
+
+class LogManager:
+    """Append-only WAL with per-transaction backchains and NTAs."""
+
+    def __init__(self, flush_delay: float = 0.0) -> None:
+        #: simulated latency of a log force (seconds); concurrent forces
+        #: are coalesced (group commit), see :meth:`flush`
+        self.flush_delay = flush_delay
+        self.stats = LogStats()
+        self._mutex = threading.Lock()
+        self._records: list[LogRecord] = []
+        self._flushed_lsn = NULL_LSN
+        #: True while one thread is performing the physical log force
+        self._force_in_flight = False
+        #: highest LSN requested by the group waiting for the next force
+        self._pending_cover = NULL_LSN
+        self._flush_done = threading.Condition(self._mutex)
+        self._last_lsn_of: dict[int, int] = {}
+        #: durable pointer to the most recent complete checkpoint
+        self.master_lsn = NULL_LSN
+        self._flush_stall: Callable[[], None] | None = None
+
+    # ------------------------------------------------------------------
+    # append / read
+    # ------------------------------------------------------------------
+    def append(self, record: LogRecord) -> int:
+        """Assign an LSN, backchain the record, and append it."""
+        with self._mutex:
+            lsn = len(self._records) + 1
+            record.lsn = lsn
+            record.prev_lsn = self._last_lsn_of.get(record.xid, NULL_LSN)
+            self._last_lsn_of[record.xid] = lsn
+            self._records.append(record)
+            self.stats.appends += 1
+            return lsn
+
+    def get(self, lsn: int) -> LogRecord:
+        """The record at ``lsn`` (raises for out-of-range LSNs)."""
+        with self._mutex:
+            if not 1 <= lsn <= len(self._records):
+                raise WALError(f"no log record with lsn {lsn}")
+            return self._records[lsn - 1]
+
+    def records_from(self, lsn: int = 1) -> Iterator[LogRecord]:
+        """Iterate records in LSN order starting at ``lsn``."""
+        index = max(lsn, 1) - 1
+        while True:
+            with self._mutex:
+                if index >= len(self._records):
+                    return
+                record = self._records[index]
+            yield record
+            index += 1
+
+    @property
+    def end_lsn(self) -> int:
+        """LSN of the most recently appended record (0 when empty)."""
+        with self._mutex:
+            return len(self._records)
+
+    def last_lsn_of(self, xid: int) -> int:
+        """Head of the transaction's backchain (0 if it never logged)."""
+        with self._mutex:
+            return self._last_lsn_of.get(xid, NULL_LSN)
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def flush(self, lsn: int | None = None) -> None:
+        """Force the log to disk up to ``lsn`` (default: everything).
+
+        Group commit: when a force is already in flight that will cover
+        this request's LSN, the caller waits for it instead of issuing
+        its own I/O — N concurrent committers share one force.
+        """
+        rode_along = False
+        with self._mutex:
+            target = len(self._records) if lsn is None else min(
+                lsn, len(self._records)
+            )
+            self._pending_cover = max(self._pending_cover, target)
+            while True:
+                if target <= self._flushed_lsn:
+                    if rode_along:
+                        self.stats.group_commits += 1
+                    return
+                if not self._force_in_flight:
+                    break  # become the leader of the next group
+                rode_along = True
+                self._flush_done.wait(0.5)
+            # Leader: one force covers every request gathered so far
+            # (the group); later arrivals re-register for the next one.
+            self._force_in_flight = True
+            cover = self._pending_cover
+            self._pending_cover = NULL_LSN
+        try:
+            if self.flush_delay > 0.0:
+                threading.Event().wait(self.flush_delay)
+        finally:
+            with self._mutex:
+                self._flushed_lsn = max(self._flushed_lsn, cover)
+                self.stats.flushes += 1
+                if rode_along:
+                    self.stats.group_commits += 1
+                self._force_in_flight = False
+                self._flush_done.notify_all()
+
+    @property
+    def flushed_lsn(self) -> int:
+        """The durability boundary: records at or below survive a crash."""
+        with self._mutex:
+            return self._flushed_lsn
+
+    def clone_prefix(self, length: int) -> "LogManager":
+        """A new, independent log containing the first ``length`` records
+        (all marked durable).
+
+        Recovery-testing utility: restart can be exercised against
+        *every* possible crash point of a recorded history by cloning
+        each prefix ("the disk survived exactly this much of the log").
+        Records are deep-copied so redo/undo against the clone can never
+        disturb the original.
+        """
+        import copy
+
+        clone = LogManager(flush_delay=self.flush_delay)
+        with self._mutex:
+            prefix = copy.deepcopy(self._records[:length])
+        clone._records = prefix
+        clone._flushed_lsn = len(prefix)
+        return clone
+
+    def crash(self) -> None:
+        """Discard the unflushed tail, as a power failure would."""
+        with self._mutex:
+            del self._records[self._flushed_lsn :]
+            self._last_lsn_of.clear()
+            # The backchain heads are rebuilt by restart analysis; runtime
+            # append after a crash only happens via recovery, which
+            # repopulates them through set_last_lsn().
+
+    def set_last_lsn(self, xid: int, lsn: int) -> None:
+        """Restore a transaction's backchain head (restart analysis)."""
+        with self._mutex:
+            self._last_lsn_of[xid] = lsn
+
+    # ------------------------------------------------------------------
+    # nested top actions (section 9.1)
+    # ------------------------------------------------------------------
+    def begin_nta(self, xid: int) -> int:
+        """Start an atomic action: memorize the rollback re-entry point."""
+        with self._mutex:
+            return self._last_lsn_of.get(xid, NULL_LSN)
+
+    def end_nta(self, xid: int, saved_lsn: int) -> int:
+        """Commit an atomic action with a dummy CLR skipping over it."""
+        record = DummyClr(xid=xid)
+        record.undo_next = saved_lsn
+        lsn = self.append(record)
+        # Atomic actions are individually committed: force them so an
+        # SMO whose pages reached disk can never lose its log suffix.
+        self.flush(lsn)
+        self.stats.forced_records += 1
+        return lsn

@@ -1,0 +1,229 @@
+"""ARIES-style restart recovery (section 9).
+
+Three passes over the surviving log:
+
+* **Analysis** — rebuild the active-transaction table (losers), the
+  dirty page table (redo start point), the tree catalog, the set of
+  committed transactions (garbage collection consults it), and the
+  maximum NSN ever issued (the global counter must be recoverable,
+  section 10.1).  With a checkpoint on record, ATT/DPT scanning starts
+  there; catalog and NSN metadata are collected from the whole log
+  (cheap for an in-memory log, and equivalent to keeping them in the
+  checkpoint).
+* **Redo** — repeat history: every record (including compensation
+  records) is re-applied to each affected page whose ``page_lsn`` is
+  older, reconstructing page images that never reached disk.
+* **Undo** — roll back loser transactions through the same undo
+  executor used at runtime, with ``in_restart`` set: logical undo of
+  leaf records re-locates leaves via rightlinks but performs **no
+  structure modifications** (section 9.2); interrupted structure
+  modifications (split records without their closing DummyClr) are
+  undone page-oriented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import RecoveryError
+from repro.gist.extension import GiSTExtension
+from repro.gist.tree import GiST
+from repro.storage.page import Page, PageId, PageKind
+from repro.wal.records import (
+    AbortRecord,
+    CheckpointRecord,
+    CommitRecord,
+    DummyClr,
+    EndRecord,
+    FreePageRecord,
+    GetPageRecord,
+    LogRecord,
+    NULL_LSN,
+    RootSplitRecord,
+    SplitRecord,
+    TreeCreateRecord,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.database import Database
+
+
+@dataclass
+class RecoveryReport:
+    """What restart recovery did (inspected by tests and benchmarks)."""
+
+    analyzed_records: int = 0
+    redo_start_lsn: int = 0
+    redone_records: int = 0
+    pages_rebuilt: int = 0
+    losers: list[int] = field(default_factory=list)
+    winners: list[int] = field(default_factory=list)
+    undone_records: int = 0
+    trees: list[str] = field(default_factory=list)
+    max_nsn: int = 0
+
+
+class RestartRecovery:
+    """Run ARIES restart over a freshly reopened :class:`Database`."""
+
+    def __init__(
+        self, db: "Database", extensions: Mapping[str, GiSTExtension]
+    ) -> None:
+        self.db = db
+        self.extensions = dict(extensions)
+        self.report = RecoveryReport()
+
+    def run(self) -> RecoveryReport:
+        """Execute the three passes and return what they accomplished."""
+        att, dpt = self._analysis()
+        self._rebuild_catalog()
+        self._redo(dpt)
+        self._undo(att)
+        self._finalize(att)
+        return self.report
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def _analysis(self) -> tuple[dict[int, int], dict[PageId, int]]:
+        log = self.db.log
+        att: dict[int, int] = {}
+        dpt: dict[PageId, int] = {}
+        committed: set[int] = set()
+        aborted: set[int] = set()
+        start = 1
+        if log.master_lsn != NULL_LSN and log.master_lsn <= log.end_lsn:
+            checkpoint = log.get(log.master_lsn)
+            if isinstance(checkpoint, CheckpointRecord):
+                att.update(checkpoint.att)
+                dpt.update(checkpoint.dpt)
+                start = log.master_lsn
+
+        # Metadata sweep over the whole log: catalog, NSN maximum, and
+        # the committed/aborted xid sets (GC visibility needs the full
+        # history, not just post-checkpoint commits).
+        self._catalog: dict[str, TreeCreateRecord] = {}
+        max_xid = 0
+        for record in log.records_from(1):
+            self.report.analyzed_records += 1
+            max_xid = max(max_xid, record.xid)
+            if isinstance(record, TreeCreateRecord):
+                self._catalog[record.name] = record
+            elif isinstance(record, (SplitRecord, RootSplitRecord)):
+                self.report.max_nsn = max(
+                    self.report.max_nsn, record.new_nsn
+                )
+            if record.lsn >= start:
+                if record.xid != 0:
+                    att[record.xid] = record.lsn
+                for pid in record.affected_pages():
+                    dpt.setdefault(pid, record.lsn)
+            if isinstance(record, CommitRecord):
+                committed.add(record.xid)
+            elif isinstance(record, AbortRecord):
+                aborted.add(record.xid)
+            elif isinstance(record, EndRecord):
+                att.pop(record.xid, None)
+        # Committed transactions that logged their commit need no undo.
+        for xid in committed:
+            att.pop(xid, None)
+        self._committed = committed
+        self._aborted = aborted
+        self._max_xid = max_xid
+        return att, dpt
+
+    def _rebuild_catalog(self) -> None:
+        for name, record in self._catalog.items():
+            extension = self.extensions.get(name)
+            if extension is None:
+                raise RecoveryError(
+                    f"no extension supplied for recovered tree {name!r}"
+                )
+            tree = GiST(
+                self.db,
+                name,
+                extension,
+                record.root_pid,
+                unique=record.unique,
+                nsn_source=record.nsn_source or "counter",
+            )
+            self.db.trees[name] = tree
+            self.report.trees.append(name)
+
+    # ------------------------------------------------------------------
+    # redo
+    # ------------------------------------------------------------------
+    def _redo(self, dpt: dict[PageId, int]) -> None:
+        log, store = self.db.log, self.db.store
+        redo_start = min(dpt.values(), default=1)
+        self.report.redo_start_lsn = redo_start
+        images: dict[PageId, Page] = {}
+        for record in log.records_from(redo_start):
+            if isinstance(record, GetPageRecord):
+                store.mark_allocated(record.page_id)
+                continue
+            if isinstance(record, FreePageRecord):
+                store.mark_free(record.page_id)
+                continue
+            applied = False
+            for pid in record.affected_pages():
+                page = images.get(pid)
+                if page is None:
+                    if store.exists(pid):
+                        page = store.read(pid)
+                    else:
+                        page = Page(
+                            pid=pid,
+                            kind=PageKind.LEAF,
+                            capacity=store.page_capacity,
+                        )
+                        self.report.pages_rebuilt += 1
+                    images[pid] = page
+                if page.page_lsn < record.lsn:
+                    record.redo_page(page)
+                    page.page_lsn = record.lsn
+                    applied = True
+            if applied:
+                self.report.redone_records += 1
+        for page in images.values():
+            store.write(page)
+
+    # ------------------------------------------------------------------
+    # undo
+    # ------------------------------------------------------------------
+    def _undo(self, att: dict[int, int]) -> None:
+        log = self.db.log
+        self.db.in_restart = True
+        try:
+            for xid, last_lsn in sorted(att.items()):
+                self.report.losers.append(xid)
+                lsn = last_lsn
+                while lsn != NULL_LSN:
+                    record = log.get(lsn)
+                    if record.undo_next is not None:
+                        lsn = record.undo_next
+                        continue
+                    if record.undoable:
+                        log.set_last_lsn(xid, lsn)
+                        self.db._undo_record(record, xid)
+                        self.report.undone_records += 1
+                    lsn = record.prev_lsn
+                log.set_last_lsn(xid, log.last_lsn_of(xid))
+                log.append(EndRecord(xid=xid))
+        finally:
+            self.db.in_restart = False
+
+    # ------------------------------------------------------------------
+    # finalize
+    # ------------------------------------------------------------------
+    def _finalize(self, att: dict[int, int]) -> None:
+        txns = self.db.txns
+        txns.committed_xids |= self._committed
+        txns.aborted_xids |= self._aborted | set(att)
+        self.report.winners = sorted(self._committed)
+        txns.restore_counters(self._max_xid + 1)
+        for tree in self.db.trees.values():
+            tree.nsn.note_recovered(self.report.max_nsn)
+        self.db.pool.flush_all()
+        self.db.log.flush()

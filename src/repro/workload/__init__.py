@@ -1,0 +1,23 @@
+"""Deterministic workload generation for benchmarks and tests."""
+
+from repro.workload.generator import (
+    MixSpec,
+    Op,
+    RectKeys,
+    RectWorkload,
+    ScalarKeys,
+    ScalarWorkload,
+    SetKeys,
+    partition_ops,
+)
+
+__all__ = [
+    "MixSpec",
+    "Op",
+    "RectKeys",
+    "RectWorkload",
+    "ScalarKeys",
+    "ScalarWorkload",
+    "SetKeys",
+    "partition_ops",
+]

@@ -1,0 +1,306 @@
+"""Deterministic workload generators for the benchmark harness.
+
+All generators are seeded and pure, so every benchmark run is exactly
+reproducible.  Three key domains matching the three shipped extensions:
+
+* ordered scalar keys (B-tree) with uniform / Zipfian / clustered
+  distributions and range queries,
+* 2-D rectangles (R-tree) with uniform and clustered placement,
+* element sets (RD-tree) drawn from a vocabulary with Zipfian element
+  popularity.
+
+Operation mixes produce ``Op`` streams the driver executes verbatim.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.ext.btree import Interval
+from repro.ext.rtree import Rect
+
+
+@dataclass(frozen=True)
+class Op:
+    """One operation in a generated workload."""
+
+    kind: str  # "insert" | "delete" | "search"
+    key: object = None
+    rid: object = None
+    query: object = None
+
+
+# ---------------------------------------------------------------------------
+# scalar keys
+# ---------------------------------------------------------------------------
+
+
+class ScalarKeys:
+    """Seeded scalar-key source over ``[0, key_space)``."""
+
+    def __init__(
+        self,
+        seed: int,
+        key_space: int = 1_000_000,
+        distribution: str = "uniform",
+        zipf_s: float = 1.2,
+        clusters: int = 16,
+    ) -> None:
+        self._rng = random.Random(seed)
+        self.key_space = key_space
+        self.distribution = distribution
+        self._zipf_s = zipf_s
+        self._clusters = clusters
+        if distribution not in ("uniform", "zipf", "clustered"):
+            raise ValueError(f"unknown distribution {distribution!r}")
+        if distribution == "zipf":
+            # Precompute a small Zipf CDF over rank buckets; keys inside
+            # a bucket are uniform, which is plenty for index skew.
+            weights = [1.0 / (rank**zipf_s) for rank in range(1, 1025)]
+            total = sum(weights)
+            acc, self._cdf = 0.0, []
+            for w in weights:
+                acc += w / total
+                self._cdf.append(acc)
+
+    def next_key(self) -> int:
+        """Draw the next key from the configured distribution."""
+        if self.distribution == "uniform":
+            return self._rng.randrange(self.key_space)
+        if self.distribution == "clustered":
+            cluster = self._rng.randrange(self._clusters)
+            width = self.key_space // self._clusters
+            return cluster * width + int(
+                abs(self._rng.gauss(0, width / 8)) % width
+            )
+        # zipf: pick a rank bucket by CDF, then a key within it
+        u = self._rng.random()
+        lo, hi = 0, len(self._cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        bucket_width = max(1, self.key_space // len(self._cdf))
+        return lo * bucket_width + self._rng.randrange(bucket_width)
+
+    def range_query(self, selectivity: float = 0.01) -> Interval:
+        """A random interval covering ``selectivity`` of the key space."""
+        width = max(1, int(self.key_space * selectivity))
+        lo = self._rng.randrange(max(1, self.key_space - width))
+        return Interval(lo, lo + width)
+
+
+# ---------------------------------------------------------------------------
+# rectangles
+# ---------------------------------------------------------------------------
+
+
+class RectKeys:
+    """Seeded rectangle source over the unit square."""
+
+    def __init__(
+        self,
+        seed: int,
+        extent: float = 0.01,
+        distribution: str = "uniform",
+        clusters: int = 12,
+    ) -> None:
+        self._rng = random.Random(seed)
+        self.extent = extent
+        self.distribution = distribution
+        self._centers = [
+            (self._rng.random(), self._rng.random()) for _ in range(clusters)
+        ]
+
+    def next_key(self) -> Rect:
+        """Draw the next key from the configured distribution."""
+        if self.distribution == "clustered":
+            cx, cy = self._rng.choice(self._centers)
+            x = min(max(self._rng.gauss(cx, 0.03), 0.0), 1.0)
+            y = min(max(self._rng.gauss(cy, 0.03), 0.0), 1.0)
+        else:
+            x, y = self._rng.random(), self._rng.random()
+        w = self._rng.random() * self.extent
+        h = self._rng.random() * self.extent
+        return Rect(x, y, min(x + w, 1.0), min(y + h, 1.0))
+
+    def window_query(self, selectivity: float = 0.01) -> Rect:
+        """A random window covering ``selectivity`` of the unit square."""
+        side = selectivity**0.5
+        x = self._rng.random() * (1.0 - side)
+        y = self._rng.random() * (1.0 - side)
+        return Rect(x, y, x + side, y + side)
+
+
+# ---------------------------------------------------------------------------
+# sets
+# ---------------------------------------------------------------------------
+
+
+class SetKeys:
+    """Seeded set-valued key source (Zipfian element popularity)."""
+
+    def __init__(
+        self,
+        seed: int,
+        vocabulary: int = 500,
+        set_size: int = 5,
+        zipf_s: float = 1.1,
+    ) -> None:
+        self._rng = random.Random(seed)
+        self.vocabulary = vocabulary
+        self.set_size = set_size
+        weights = [1.0 / (rank**zipf_s) for rank in range(1, vocabulary + 1)]
+        self._population = list(range(vocabulary))
+        self._weights = weights
+
+    def next_key(self) -> frozenset:
+        """Draw the next key from the configured distribution."""
+        size = max(1, int(self._rng.gauss(self.set_size, 1)))
+        return frozenset(
+            self._rng.choices(self._population, self._weights, k=size)
+        )
+
+    def overlap_query(self, probe_size: int = 2) -> frozenset:
+        """A random probe set for overlap queries."""
+        return frozenset(
+            self._rng.choices(self._population, self._weights, k=probe_size)
+        )
+
+
+# ---------------------------------------------------------------------------
+# operation mixes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MixSpec:
+    """Fractions of each operation kind (must sum to 1)."""
+
+    insert: float = 0.5
+    search: float = 0.5
+    delete: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = self.insert + self.search + self.delete
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"mix fractions sum to {total}, expected 1")
+
+
+class ScalarWorkload:
+    """A reproducible stream of operations over scalar keys.
+
+    Deletions target previously inserted pairs, so a generated stream is
+    always executable; rids are unique across the stream.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        mix: MixSpec | None = None,
+        key_space: int = 1_000_000,
+        distribution: str = "uniform",
+        selectivity: float = 0.005,
+    ) -> None:
+        self.keys = ScalarKeys(seed, key_space, distribution)
+        self._rng = random.Random(seed ^ 0x5EED)
+        self.mix = mix or MixSpec()
+        self.selectivity = selectivity
+        self._live: list[tuple[int, str]] = []
+        self._counter = 0
+
+    def ops(self, count: int) -> Iterator[Op]:
+        """A finite stream of ``count`` operations."""
+        for _ in range(count):
+            yield self.next_op()
+
+    def next_op(self) -> Op:
+        """Draw the next operation of the mix."""
+        u = self._rng.random()
+        if u < self.mix.insert or not self._live:
+            key = self.keys.next_key()
+            self._counter += 1
+            rid = f"r{self._counter}"
+            self._live.append((key, rid))
+            return Op("insert", key=key, rid=rid)
+        if u < self.mix.insert + self.mix.delete:
+            idx = self._rng.randrange(len(self._live))
+            key, rid = self._live.pop(idx)
+            return Op("delete", key=key, rid=rid)
+        return Op("search", query=self.keys.range_query(self.selectivity))
+
+    def preload(self, count: int) -> list[Op]:
+        """Pure-insert prefix used to build the initial tree."""
+        out = []
+        for _ in range(count):
+            key = self.keys.next_key()
+            self._counter += 1
+            rid = f"r{self._counter}"
+            self._live.append((key, rid))
+            out.append(Op("insert", key=key, rid=rid))
+        return out
+
+
+class RectWorkload:
+    """A reproducible stream of operations over rectangles."""
+
+    def __init__(
+        self,
+        seed: int,
+        mix: MixSpec | None = None,
+        distribution: str = "uniform",
+        selectivity: float = 0.01,
+    ) -> None:
+        self.keys = RectKeys(seed, distribution=distribution)
+        self._rng = random.Random(seed ^ 0x5EED)
+        self.mix = mix or MixSpec()
+        self.selectivity = selectivity
+        self._live: list[tuple[Rect, str]] = []
+        self._counter = 0
+
+    def next_op(self) -> Op:
+        """Draw the next operation of the mix."""
+        u = self._rng.random()
+        if u < self.mix.insert or not self._live:
+            key = self.keys.next_key()
+            self._counter += 1
+            rid = f"r{self._counter}"
+            self._live.append((key, rid))
+            return Op("insert", key=key, rid=rid)
+        if u < self.mix.insert + self.mix.delete:
+            idx = self._rng.randrange(len(self._live))
+            key, rid = self._live.pop(idx)
+            return Op("delete", key=key, rid=rid)
+        return Op(
+            "search", query=self.keys.window_query(self.selectivity)
+        )
+
+    def ops(self, count: int) -> Iterator[Op]:
+        """A finite stream of ``count`` operations."""
+        for _ in range(count):
+            yield self.next_op()
+
+    def preload(self, count: int) -> list[Op]:
+        """Pure-insert prefix used to build the initial tree."""
+        out = []
+        for _ in range(count):
+            key = self.keys.next_key()
+            self._counter += 1
+            rid = f"r{self._counter}"
+            self._live.append((key, rid))
+            out.append(Op("insert", key=key, rid=rid))
+        return out
+
+
+def partition_ops(
+    ops: Sequence[Op], workers: int
+) -> list[list[Op]]:
+    """Round-robin an op stream across workers (stable, deterministic)."""
+    buckets: list[list[Op]] = [[] for _ in range(workers)]
+    for i, op in enumerate(ops):
+        buckets[i % workers].append(op)
+    return buckets

@@ -1,0 +1,112 @@
+"""Key-range locking baseline (section 4.1)."""
+
+import threading
+
+import pytest
+
+from repro.baselines.keyrange import EOF_LOCK, KeyRangeIndex
+from repro.errors import DeadlockError, LockTimeoutError
+from repro.lock.manager import LockManager
+
+
+def make_index(timeout=5.0):
+    return KeyRangeIndex(LockManager(default_timeout=timeout))
+
+
+class TestBasics:
+    def test_insert_and_scan(self):
+        index = make_index()
+        for i in (5, 1, 3):
+            index.insert(1, i, f"r{i}")
+        index.end(1)
+        assert index.scan(2, 1, 5) == [(1, "r1"), (3, "r3"), (5, "r5")]
+        index.end(2)
+
+    def test_scan_locks_next_key_past_range(self):
+        index = make_index()
+        for i in (1, 3, 5, 7):
+            index.insert(1, i, f"r{i}")
+        index.end(1)
+        index.scan(2, 1, 5)
+        # the first record past the range (7) must be S-locked
+        assert 2 in index.locks.holders(("kr", 7, "r7"))
+        index.end(2)
+
+    def test_scan_at_end_locks_eof(self):
+        index = make_index()
+        index.insert(1, 1, "r1")
+        index.end(1)
+        index.scan(2, 0, 100)
+        assert 2 in index.locks.holders(EOF_LOCK)
+        index.end(2)
+
+    def test_delete(self):
+        index = make_index()
+        for i in (1, 2, 3):
+            index.insert(1, i, f"r{i}")
+        index.end(1)
+        index.delete(2, 2, "r2")
+        index.end(2)
+        assert index.contents() == [(1, "r1"), (3, "r3")]
+
+
+class TestPhantomProtection:
+    def test_insert_into_scanned_gap_blocks(self):
+        index = make_index(timeout=0.3)
+        for i in (10, 20, 30):
+            index.insert(1, i, f"r{i}")
+        index.end(1)
+        index.scan(2, 10, 25)  # locks r10, r20 and next key r30
+        with pytest.raises((LockTimeoutError, DeadlockError)):
+            index.insert(3, 25, "phantom")
+        index.end(2)
+        index.end(3)
+
+    def test_insert_outside_scanned_range_proceeds(self):
+        index = make_index()
+        for i in (10, 20, 30):
+            index.insert(1, i, f"r{i}")
+        index.end(1)
+        index.scan(2, 10, 15)  # locks r10 and next key r20
+        index.insert(3, 25, "fine")  # gap (20,30] is unlocked
+        index.end(3)
+        index.end(2)
+
+    def test_repeatable_scan_under_concurrent_writer(self):
+        index = make_index()
+        for i in range(0, 100, 10):
+            index.insert(1, i, f"r{i}")
+        index.end(1)
+        first = index.scan(2, 20, 60)
+        done = threading.Event()
+
+        def writer():
+            try:
+                index.insert(3, 45, "phantom")
+            except (LockTimeoutError, DeadlockError):
+                pass
+            finally:
+                index.end(3)
+                done.set()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        t.join(0.2)
+        second = index.scan(2, 20, 60)
+        assert first == second  # repeatable while txn 2 lives
+        index.end(2)
+        assert done.wait(10.0)
+        t.join()
+
+    def test_lock_count_is_proportional_to_result(self):
+        """The efficiency claim of §4.1: a scan takes |result| + 1
+        cheap physical locks (vs one predicate per visited node)."""
+        index = make_index()
+        for i in range(50):
+            index.insert(1, i, f"r{i}")
+        index.end(1)
+        before = index.lock_requests
+        result = index.scan(2, 10, 19)
+        index.end(2)
+        assert len(result) == 10
+        assert index.lock_requests - before == len(result) + 1

@@ -1,0 +1,123 @@
+"""Pure predicate locking baseline (section 4.2)."""
+
+import threading
+
+import pytest
+
+from repro.baselines.purepred import (
+    GlobalPredicateTable,
+    PurePredicateIndex,
+)
+from repro.baselines.simpletree import make_baseline
+from repro.errors import LockTimeoutError
+from repro.ext.btree import BTreeExtension, Interval
+
+
+def make_table(timeout=5.0):
+    return GlobalPredicateTable(BTreeExtension().consistent, timeout)
+
+
+class TestGlobalTable:
+    def test_compatible_predicates_coexist(self):
+        table = make_table()
+        table.register(1, Interval(0, 10), "search")
+        table.register(2, Interval(20, 30), "insert")
+        assert table.size() == 2
+
+    def test_readers_never_conflict_with_readers(self):
+        table = make_table()
+        table.register(1, Interval(0, 10), "search")
+        table.register(2, Interval(0, 10), "search")
+        assert table.size() == 2
+
+    def test_conflicting_insert_blocks_until_release(self):
+        table = make_table()
+        table.register(1, Interval(0, 10), "search")
+        registered = threading.Event()
+
+        def inserter():
+            table.register(2, Interval(5, 5), "insert")
+            registered.set()
+
+        t = threading.Thread(target=inserter)
+        t.start()
+        t.join(0.2)
+        assert not registered.is_set()
+        table.release_owner(1)
+        assert registered.wait(5.0)
+        t.join()
+
+    def test_conflicting_search_blocks_on_insert_pred(self):
+        table = make_table(timeout=0.3)
+        table.register(1, Interval(5, 5), "insert")
+        with pytest.raises(LockTimeoutError):
+            table.register(2, Interval(0, 10), "search")
+
+    def test_comparisons_scale_with_global_count(self):
+        """The §4.2 drawback: each check scans the whole table."""
+        table = make_table()
+        for owner in range(50):
+            table.register(owner, Interval(owner * 100, owner * 100 + 1), "search")
+        before = table.stats.snapshot()["comparisons"]
+        table.register(999, Interval(10**6, 10**6), "insert")
+        after = table.stats.snapshot()["comparisons"]
+        assert after - before == 50  # every scan predicate was compared
+
+    def test_release_owner_wakes_waiters(self):
+        table = make_table()
+        table.register(1, Interval(0, 100), "search")
+        done = []
+
+        def worker(owner):
+            table.register(owner, Interval(50, 50), "insert")
+            done.append(owner)
+            table.release_owner(owner)
+
+        threads = [
+            threading.Thread(target=worker, args=(o,)) for o in (2, 3)
+        ]
+        for t in threads:
+            t.start()
+        table.release_owner(1)
+        for t in threads:
+            t.join(5.0)
+        assert sorted(done) == [2, 3]
+
+
+class TestPurePredicateIndex:
+    def test_repeatable_read_semantics(self):
+        tree = make_baseline("link", BTreeExtension(), page_capacity=8)
+        index = PurePredicateIndex(tree, timeout=5.0)
+        for i in range(20):
+            index.insert(0, i, f"r{i}")
+        index.end(0)
+        first = index.search(1, Interval(5, 15))
+        blocked = threading.Event()
+        done = threading.Event()
+
+        def writer():
+            blocked.set()
+            index.insert(2, 10, "phantom")
+            index.end(2)
+            done.set()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        blocked.wait()
+        t.join(0.2)
+        assert not done.is_set()  # blocked by the global search predicate
+        second = index.search(1, Interval(5, 15))
+        assert first == second
+        index.end(1)
+        assert done.wait(5.0)
+        t.join()
+
+    def test_range_locked_before_any_record_retrieved(self):
+        """Section 4.2's second drawback: the whole range is locked
+        up-front, even where no data exists."""
+        tree = make_baseline("link", BTreeExtension(), page_capacity=8)
+        index = PurePredicateIndex(tree, timeout=0.3)
+        index.search(1, Interval(1000, 2000))  # empty region
+        with pytest.raises(LockTimeoutError):
+            index.insert(2, 1500, "blocked-even-though-region-empty")
+        index.end(1)

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.database import Database
+from repro.ext.btree import BTreeExtension
+from repro.ext.rdtree import RDTreeExtension
+from repro.ext.rtree import RTreeExtension
+
+
+@pytest.fixture
+def db() -> Database:
+    """A small-page database (splits happen early)."""
+    return Database(page_capacity=4, lock_timeout=10.0)
+
+
+@pytest.fixture
+def big_db() -> Database:
+    """A database with a realistic fanout."""
+    return Database(page_capacity=32, lock_timeout=10.0)
+
+
+@pytest.fixture
+def btree(db: Database):
+    """An empty B-tree GiST on the small-page database."""
+    return db.create_tree("bt", BTreeExtension())
+
+
+@pytest.fixture
+def rtree(db: Database):
+    return db.create_tree("rt", RTreeExtension())
+
+
+@pytest.fixture
+def rdtree(db: Database):
+    return db.create_tree("rd", RDTreeExtension())
+
+
+@pytest.fixture
+def loaded_btree(db: Database):
+    """A B-tree preloaded with keys 0..99 (rids "r0".."r99")."""
+    tree = db.create_tree("bt", BTreeExtension())
+    txn = db.begin()
+    for i in range(100):
+        tree.insert(txn, i, f"r{i}")
+    db.commit(txn)
+    return tree

@@ -1,0 +1,119 @@
+"""B-tree extension: interval algebra and extension-method contract."""
+
+import pytest
+
+from repro.ext.btree import BTreeExtension, Interval, as_interval
+
+
+class TestInterval:
+    def test_point_contains_itself(self):
+        assert Interval.point(5).contains(5)
+
+    def test_closed_bounds(self):
+        iv = Interval(1, 5)
+        assert iv.contains(1) and iv.contains(5) and iv.contains(3)
+        assert not iv.contains(0) and not iv.contains(6)
+
+    def test_open_bounds(self):
+        iv = Interval(1, 5, lo_incl=False, hi_incl=False)
+        assert not iv.contains(1) and not iv.contains(5)
+        assert iv.contains(2)
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            Interval(5, 1)
+
+    def test_intersects_overlap(self):
+        assert Interval(1, 5).intersects(Interval(4, 9))
+        assert Interval(4, 9).intersects(Interval(1, 5))
+        assert not Interval(1, 3).intersects(Interval(4, 9))
+
+    def test_intersects_touching_closed(self):
+        assert Interval(1, 5).intersects(Interval(5, 9))
+
+    def test_intersects_touching_open(self):
+        assert not Interval(1, 5, hi_incl=False).intersects(
+            Interval(5, 9)
+        )
+        assert not Interval(1, 5).intersects(
+            Interval(5, 9, lo_incl=False)
+        )
+
+    def test_union_spans_both(self):
+        assert Interval(1, 3).union_with(Interval(7, 9)) == Interval(1, 9)
+
+    def test_union_preserves_inclusivity_at_extremes(self):
+        a = Interval(1, 5, lo_incl=False)
+        b = Interval(3, 9, hi_incl=False)
+        u = a.union_with(b)
+        assert u == Interval(1, 9, lo_incl=False, hi_incl=False)
+
+    def test_strings_work(self):
+        iv = Interval("apple", "mango")
+        assert iv.contains("banana")
+        assert not iv.contains("zebra")
+
+
+class TestExtensionContract:
+    ext = BTreeExtension()
+
+    def test_consistent_point_vs_interval(self):
+        assert self.ext.consistent(5, Interval(0, 10))
+        assert self.ext.consistent(Interval(0, 10), 5)
+        assert not self.ext.consistent(50, Interval(0, 10))
+
+    def test_union_of_points_and_intervals(self):
+        u = self.ext.union([3, Interval(5, 9), 1])
+        assert u == Interval(1, 9)
+
+    def test_union_empty_raises(self):
+        with pytest.raises(ValueError):
+            self.ext.union([])
+
+    def test_penalty_zero_when_covered(self):
+        assert self.ext.penalty(Interval(0, 10), 5) == 0.0
+
+    def test_penalty_equals_stretch(self):
+        assert self.ext.penalty(Interval(0, 10), 14) == 4.0
+        assert self.ext.penalty(Interval(10, 20), 4) == 6.0
+
+    def test_penalty_non_numeric_fallback(self):
+        assert self.ext.penalty(Interval("b", "d"), "z") == 1.0
+        assert self.ext.penalty(Interval("b", "d"), "c") == 0.0
+
+    def test_pick_split_is_partition(self):
+        preds = [9, 1, 5, 3, 7, 2]
+        left, right = self.ext.pick_split(preds)
+        assert sorted(left + right) == list(range(len(preds)))
+        assert left and right
+
+    def test_pick_split_respects_order(self):
+        preds = [9, 1, 5, 3]
+        left, right = self.ext.pick_split(preds)
+        max_left = max(preds[i] for i in left)
+        min_right = min(preds[i] for i in right)
+        assert max_left <= min_right
+
+    def test_same(self):
+        assert self.ext.same(Interval(1, 5), Interval(1, 5))
+        assert self.ext.same(5, Interval(5, 5))
+        assert not self.ext.same(Interval(1, 5), Interval(1, 6))
+
+    def test_eq_query_matches_only_key(self):
+        eq = self.ext.eq_query(5)
+        assert self.ext.consistent(5, eq)
+        assert not self.ext.consistent(6, eq)
+
+    def test_covers(self):
+        assert self.ext.covers(Interval(0, 10), 5)
+        assert not self.ext.covers(Interval(0, 10), 11)
+        assert self.ext.covers(None, 123)  # None = whole space
+
+    def test_organize_sorts(self):
+        order = self.ext.organize([5, 1, 3])
+        assert order == [1, 2, 0]
+
+    def test_as_interval_idempotent(self):
+        iv = Interval(1, 2)
+        assert as_interval(iv) is iv
+        assert as_interval(7) == Interval(7, 7)

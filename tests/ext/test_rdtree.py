@@ -1,0 +1,89 @@
+"""RD-tree extension: set algebra and overlap queries end-to-end."""
+
+import random
+
+import pytest
+
+from repro.errors import ExtensionError
+from repro.ext.rdtree import RDTreeExtension, as_key_set
+from repro.gist.checker import check_tree
+
+
+class TestKeyNormalization:
+    def test_as_key_set_accepts_iterables(self):
+        assert as_key_set([1, 2, 2]) == frozenset({1, 2})
+        assert as_key_set({"a"}) == frozenset({"a"})
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ExtensionError):
+            as_key_set([])
+
+
+class TestExtensionContract:
+    ext = RDTreeExtension()
+
+    def test_consistent_is_overlap(self):
+        assert self.ext.consistent({1, 2}, {2, 3})
+        assert not self.ext.consistent({1, 2}, {3, 4})
+
+    def test_union(self):
+        assert self.ext.union([{1}, {2}, {2, 3}]) == frozenset({1, 2, 3})
+
+    def test_penalty_counts_new_elements(self):
+        assert self.ext.penalty({1, 2, 3}, {2, 3}) == 0.0
+        assert self.ext.penalty({1, 2}, {2, 3, 4}) == 2.0
+
+    def test_pick_split_partition(self):
+        sets = [frozenset({i, i + 1}) for i in range(10)]
+        left, right = self.ext.pick_split(sets)
+        assert sorted(left + right) == list(range(10))
+        assert left and right
+
+    def test_pick_split_separates_disjoint_families(self):
+        family_a = [frozenset({1, 2, i}) for i in range(100, 104)]
+        family_b = [frozenset({50, 60, i}) for i in range(200, 204)]
+        left, right = self.ext.pick_split(family_a + family_b)
+        left_set, right_set = set(left), set(right)
+        a_idx, b_idx = set(range(4)), set(range(4, 8))
+        assert (a_idx <= left_set and b_idx <= right_set) or (
+            a_idx <= right_set and b_idx <= left_set
+        )
+
+    def test_same_and_eq_query(self):
+        assert self.ext.same({1, 2}, frozenset({2, 1}))
+        eq = self.ext.eq_query({1, 2})
+        assert self.ext.consistent({2, 9}, eq)  # overlap superset of eq
+
+
+class TestRDTreeEndToEnd:
+    def test_overlap_queries(self, db, rdtree):
+        rng = random.Random(7)
+        docs = {}
+        txn = db.begin()
+        for i in range(100):
+            tags = frozenset(rng.sample(range(30), k=4))
+            rid = f"doc{i}"
+            rdtree.insert(txn, tags, rid)
+            docs[rid] = tags
+        db.commit(txn)
+        assert check_tree(rdtree).ok
+        probe = frozenset({3, 17})
+        txn = db.begin()
+        found = {rid for _, rid in rdtree.search(txn, probe)}
+        db.commit(txn)
+        expected = {rid for rid, tags in docs.items() if tags & probe}
+        assert found == expected
+
+    def test_exact_delete_among_overlapping_sets(self, db, rdtree):
+        txn = db.begin()
+        rdtree.insert(txn, {1, 2, 3}, "a")
+        rdtree.insert(txn, {2, 3, 4}, "b")
+        rdtree.insert(txn, {1, 2, 3}, "c")  # same key as "a"
+        db.commit(txn)
+        txn = db.begin()
+        rdtree.delete(txn, {1, 2, 3}, "a")
+        db.commit(txn)
+        txn = db.begin()
+        found = sorted(rid for _, rid in rdtree.search(txn, {2}))
+        db.commit(txn)
+        assert found == ["b", "c"]

@@ -1,0 +1,128 @@
+"""R-tree extension: rectangle algebra, quadratic split, end-to-end."""
+
+import random
+
+import pytest
+
+from repro.ext.rtree import Rect, RTreeExtension
+from repro.gist.checker import check_tree
+
+
+class TestRect:
+    def test_point_rect(self):
+        p = Rect.point(0.5, 0.5)
+        assert p.area == 0.0
+        assert p.intersects(Rect(0, 0, 1, 1))
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+
+    def test_intersects_and_disjoint(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.intersects(Rect(1, 1, 3, 3))
+        assert a.intersects(Rect(2, 2, 3, 3))  # touching counts
+        assert not a.intersects(Rect(3, 3, 4, 4))
+
+    def test_contains(self):
+        assert Rect(0, 0, 4, 4).contains(Rect(1, 1, 2, 2))
+        assert not Rect(0, 0, 4, 4).contains(Rect(3, 3, 5, 5))
+
+    def test_union_and_area(self):
+        u = Rect(0, 0, 1, 1).union_with(Rect(2, 2, 3, 3))
+        assert u == Rect(0, 0, 3, 3)
+        assert u.area == 9.0
+
+
+class TestExtensionContract:
+    ext = RTreeExtension()
+
+    def test_penalty_is_area_growth(self):
+        bp = Rect(0, 0, 2, 2)
+        assert self.ext.penalty(bp, Rect(1, 1, 2, 2)) == 0.0
+        assert self.ext.penalty(bp, Rect(0, 0, 4, 2)) == pytest.approx(
+            4.0
+        )
+
+    def test_union(self):
+        u = self.ext.union([Rect(0, 0, 1, 1), Rect(5, 5, 6, 6)])
+        assert u == Rect(0, 0, 6, 6)
+
+    def test_pick_split_partition_and_balance(self):
+        rng = random.Random(0)
+        rects = [
+            Rect.point(rng.random(), rng.random()) for _ in range(20)
+        ]
+        left, right = self.ext.pick_split(rects)
+        assert sorted(left + right) == list(range(20))
+        assert len(left) >= 20 // 3 and len(right) >= 20 // 3
+
+    def test_pick_split_separates_clusters(self):
+        low = [Rect.point(0.1 + i * 0.01, 0.1) for i in range(5)]
+        high = [Rect.point(0.9 - i * 0.01, 0.9) for i in range(5)]
+        rects = low + high
+        left, right = self.ext.pick_split(rects)
+        groups = [set(left), set(right)]
+        assert {0, 1, 2, 3, 4} in groups or {
+            5,
+            6,
+            7,
+            8,
+            9,
+        } in groups
+
+    def test_pick_split_minimum_size(self):
+        with pytest.raises(ValueError):
+            self.ext.pick_split([Rect.point(0, 0)])
+
+
+class TestRTreeEndToEnd:
+    def test_window_queries(self, db, rtree):
+        rng = random.Random(42)
+        points = {}
+        txn = db.begin()
+        for i in range(150):
+            rect = Rect.point(rng.random(), rng.random())
+            rid = f"p{i}"
+            rtree.insert(txn, rect, rid)
+            points[rid] = rect
+        db.commit(txn)
+        assert check_tree(rtree).ok
+        window = Rect(0.25, 0.25, 0.75, 0.75)
+        txn = db.begin()
+        found = {rid for _, rid in rtree.search(txn, window)}
+        db.commit(txn)
+        expected = {
+            rid
+            for rid, rect in points.items()
+            if rect.intersects(window)
+        }
+        assert found == expected
+
+    def test_delete_and_research(self, db, rtree):
+        txn = db.begin()
+        rects = [Rect.point(i / 10, i / 10) for i in range(10)]
+        for i, rect in enumerate(rects):
+            rtree.insert(txn, rect, f"p{i}")
+        db.commit(txn)
+        txn = db.begin()
+        rtree.delete(txn, rects[3], "p3")
+        db.commit(txn)
+        txn = db.begin()
+        found = {rid for _, rid in rtree.search(txn, Rect(0, 0, 1, 1))}
+        db.commit(txn)
+        assert found == {f"p{i}" for i in range(10) if i != 3}
+
+    def test_crash_recovery_spatial(self, db, rtree):
+        txn = db.begin()
+        for i in range(60):
+            rtree.insert(txn, Rect.point(i / 60, (i * 7 % 60) / 60), f"p{i}")
+        db.commit(txn)
+        db.crash()
+        db2 = db.restart({"rt": RTreeExtension()})
+        tree2 = db2.tree("rt")
+        txn = db2.begin()
+        found = tree2.search(txn, Rect(0, 0, 1, 1))
+        db2.commit(txn)
+        assert len(found) == 60
+        assert check_tree(tree2).ok

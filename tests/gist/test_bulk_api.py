@@ -1,0 +1,130 @@
+"""Convenience bulk APIs: insert_many, count, delete_where."""
+
+import threading
+
+from repro.database import Database
+from repro.errors import TransactionAbort
+from repro.ext.btree import BTreeExtension, Interval
+from repro.ext.rtree import Rect, RTreeExtension
+from repro.gist.checker import check_tree
+
+
+class TestInsertMany:
+    def test_inserts_all_pairs(self, db, btree):
+        txn = db.begin()
+        n = btree.insert_many(
+            txn, [(i, f"r{i}") for i in (5, 1, 9, 3, 7)]
+        )
+        db.commit(txn)
+        assert n == 5
+        txn = db.begin()
+        assert {k for k, _ in btree.search(txn, Interval(0, 10))} == {
+            1,
+            3,
+            5,
+            7,
+            9,
+        }
+        db.commit(txn)
+
+    def test_uses_organize_order_when_available(self, db, btree):
+        # BTreeExtension organizes by key; insertion must still be
+        # correct whatever the order
+        txn = db.begin()
+        btree.insert_many(txn, [(i % 7, f"r{i}") for i in range(50)])
+        db.commit(txn)
+        assert check_tree(btree).ok
+
+    def test_empty_batch(self, db, btree):
+        txn = db.begin()
+        assert btree.insert_many(txn, []) == 0
+        db.commit(txn)
+
+    def test_works_without_organize(self, db, rtree):
+        txn = db.begin()
+        n = rtree.insert_many(
+            txn,
+            [(Rect.point(i / 10, i / 10), f"p{i}") for i in range(10)],
+        )
+        db.commit(txn)
+        assert n == 10
+        txn = db.begin()
+        assert rtree.count(txn, Rect(0, 0, 1, 1)) == 10
+        db.commit(txn)
+
+
+class TestCount:
+    def test_count_matches_search(self, db, loaded_btree):
+        txn = db.begin()
+        query = Interval(10, 40)
+        assert loaded_btree.count(txn, query) == len(
+            loaded_btree.search(txn, query)
+        )
+        db.commit(txn)
+
+    def test_count_zero(self, db, loaded_btree):
+        txn = db.begin()
+        assert loaded_btree.count(txn, Interval(1000, 2000)) == 0
+        db.commit(txn)
+
+    def test_count_is_phantom_protected_under_rr(self, db, loaded_btree):
+        reader = db.begin()
+        first = loaded_btree.count(reader, Interval(10, 20))
+        blocked = []
+
+        def writer():
+            txn = db.begin()
+            try:
+                loaded_btree.insert(txn, 15, "phantom")
+                db.commit(txn)
+                blocked.append(False)
+            except TransactionAbort:
+                db.rollback(txn)
+                blocked.append(True)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        t.join(0.3)
+        second = loaded_btree.count(reader, Interval(10, 20))
+        assert first == second
+        db.commit(reader)
+        t.join(10.0)
+
+
+class TestDeleteWhere:
+    def test_deletes_exactly_matching(self, db, loaded_btree):
+        txn = db.begin()
+        n = loaded_btree.delete_where(txn, Interval(10, 19))
+        db.commit(txn)
+        assert n == 10
+        txn = db.begin()
+        remaining = {
+            k for k, _ in loaded_btree.search(txn, Interval(0, 99))
+        }
+        db.commit(txn)
+        assert remaining == set(range(100)) - set(range(10, 20))
+
+    def test_delete_where_empty_range(self, db, loaded_btree):
+        txn = db.begin()
+        assert loaded_btree.delete_where(txn, Interval(500, 600)) == 0
+        db.commit(txn)
+
+    def test_delete_where_rolls_back_atomically(self, db, loaded_btree):
+        txn = db.begin()
+        loaded_btree.delete_where(txn, Interval(0, 49))
+        db.rollback(txn)
+        txn = db.begin()
+        assert loaded_btree.count(txn, Interval(0, 99)) == 100
+        db.commit(txn)
+
+    def test_delete_where_then_crash(self, db, loaded_btree):
+        txn = db.begin()
+        loaded_btree.delete_where(txn, Interval(0, 49))
+        db.commit(txn)
+        db.crash()
+        db2 = db.restart({"bt": BTreeExtension()})
+        tree2 = db2.tree("bt")
+        txn = db2.begin()
+        assert tree2.count(txn, Interval(0, 99)) == 50
+        db2.commit(txn)
+        assert check_tree(tree2).ok

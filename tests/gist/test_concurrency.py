@@ -1,0 +1,245 @@
+"""Multi-threaded stress tests of the full transactional GiST."""
+
+import random
+import threading
+
+import pytest
+
+from repro.database import Database
+from repro.errors import KeyNotFoundError, TransactionAbort
+from repro.ext.btree import BTreeExtension, Interval
+from repro.ext.rtree import Rect, RTreeExtension
+from repro.gist.checker import check_tree
+from repro.gist.maintenance import vacuum
+
+
+def run_threads(workers, timeout=90.0):
+    threads = [threading.Thread(target=w) for w in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+    assert not any(t.is_alive() for t in threads), "worker hang"
+
+
+class TestConcurrentWriters:
+    def test_parallel_inserts_all_durable(self):
+        db = Database(page_capacity=8, lock_timeout=20.0)
+        tree = db.create_tree("c", BTreeExtension())
+        inserted = []
+        lock = threading.Lock()
+
+        def writer(wid):
+            rng = random.Random(wid)
+            for batch in range(10):
+                txn = db.begin()
+                local = []
+                try:
+                    for i in range(5):
+                        key = rng.randrange(50_000)
+                        rid = f"{wid}-{batch}-{i}"
+                        tree.insert(txn, key, rid)
+                        local.append((key, rid))
+                    db.commit(txn)
+                    with lock:
+                        inserted.extend(local)
+                except TransactionAbort:
+                    db.rollback(txn)
+
+        run_threads([lambda w=w: writer(w) for w in range(8)])
+        txn = db.begin()
+        found = set(tree.search(txn, Interval(0, 50_000)))
+        db.commit(txn)
+        assert found == set(inserted)
+        report = check_tree(tree)
+        assert report.ok, report.errors
+
+    def test_mixed_insert_delete_search_storm(self):
+        db = Database(page_capacity=8, lock_timeout=20.0)
+        tree = db.create_tree("c", BTreeExtension())
+        setup = db.begin()
+        base = {}
+        for i in range(200):
+            tree.insert(setup, i * 10, f"base-{i}")
+            base[f"base-{i}"] = i * 10
+        db.commit(setup)
+        deleted = set()
+        lock = threading.Lock()
+        errors = []
+
+        def worker(wid):
+            rng = random.Random(wid)
+            for _ in range(15):
+                txn = db.begin()
+                try:
+                    roll = rng.random()
+                    if roll < 0.4:
+                        tree.insert(
+                            txn,
+                            rng.randrange(2000),
+                            f"new-{wid}-{rng.random()}",
+                        )
+                        db.commit(txn)
+                    elif roll < 0.6:
+                        with lock:
+                            candidates = [
+                                r for r in base if r not in deleted
+                            ]
+                        if not candidates:
+                            db.rollback(txn)
+                            continue
+                        rid = rng.choice(candidates)
+                        try:
+                            tree.delete(txn, base[rid], rid)
+                            db.commit(txn)
+                            with lock:
+                                deleted.add(rid)
+                        except KeyNotFoundError:
+                            db.rollback(txn)
+                    else:
+                        lo = rng.randrange(1500)
+                        tree.search(txn, Interval(lo, lo + 200))
+                        db.commit(txn)
+                except TransactionAbort:
+                    try:
+                        db.rollback(txn)
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(repr(exc))
+                except Exception as exc:  # pragma: no cover
+                    errors.append(repr(exc))
+                    try:
+                        db.rollback(txn)
+                    except Exception:
+                        pass
+
+        run_threads([lambda w=w: worker(w) for w in range(8)])
+        assert errors == []
+        report = check_tree(tree)
+        assert report.ok, report.errors
+        txn = db.begin()
+        found = {r for _, r in tree.search(txn, Interval(0, 3000))}
+        db.commit(txn)
+        for rid in base:
+            assert (rid in found) == (rid not in deleted)
+
+    def test_concurrent_vacuum_and_writers(self):
+        db = Database(page_capacity=8, lock_timeout=20.0)
+        tree = db.create_tree("c", BTreeExtension())
+        setup = db.begin()
+        for i in range(150):
+            tree.insert(setup, i, f"r{i}")
+        db.commit(setup)
+        txn = db.begin()
+        for i in range(0, 150, 2):
+            tree.delete(txn, i, f"r{i}")
+        db.commit(txn)
+        errors = []
+        stop = threading.Event()
+
+        def vacuumer():
+            while not stop.is_set():
+                txn = db.begin()
+                try:
+                    vacuum(tree, txn)
+                    db.commit(txn)
+                except TransactionAbort:
+                    try:
+                        db.rollback(txn)
+                    except Exception:
+                        pass
+                except Exception as exc:  # pragma: no cover
+                    errors.append(repr(exc))
+                    break
+
+        def writer():
+            rng = random.Random(99)
+            for i in range(60):
+                txn = db.begin()
+                try:
+                    tree.insert(txn, rng.randrange(150), f"w-{i}")
+                    db.commit(txn)
+                except TransactionAbort:
+                    try:
+                        db.rollback(txn)
+                    except Exception:
+                        pass
+
+        vt = threading.Thread(target=vacuumer)
+        wt = threading.Thread(target=writer)
+        vt.start()
+        wt.start()
+        wt.join(60.0)
+        stop.set()
+        vt.join(60.0)
+        assert errors == []
+        report = check_tree(tree)
+        assert report.ok, report.errors
+
+    def test_spatial_concurrent_workload(self):
+        db = Database(page_capacity=8, lock_timeout=20.0)
+        tree = db.create_tree("rt", RTreeExtension())
+        inserted = []
+        lock = threading.Lock()
+
+        def writer(wid):
+            rng = random.Random(wid)
+            for i in range(40):
+                txn = db.begin()
+                rect = Rect.point(rng.random(), rng.random())
+                rid = f"{wid}-{i}"
+                try:
+                    tree.insert(txn, rect, rid)
+                    db.commit(txn)
+                    with lock:
+                        inserted.append(rid)
+                except TransactionAbort:
+                    db.rollback(txn)
+
+        def reader():
+            rng = random.Random(1234)
+            for _ in range(20):
+                txn = db.begin()
+                x, y = rng.random() * 0.5, rng.random() * 0.5
+                tree.search(txn, Rect(x, y, x + 0.5, y + 0.5))
+                db.commit(txn)
+
+        run_threads(
+            [lambda w=w: writer(w) for w in range(4)] + [reader] * 2
+        )
+        txn = db.begin()
+        found = {r for _, r in tree.search(txn, Rect(0, 0, 1, 1))}
+        db.commit(txn)
+        assert found == set(inserted)
+        assert check_tree(tree).ok
+
+
+class TestCrashUnderConcurrency:
+    def test_crash_after_concurrent_phase_recovers(self):
+        db = Database(page_capacity=8, lock_timeout=20.0)
+        tree = db.create_tree("c", BTreeExtension())
+        committed = []
+        lock = threading.Lock()
+
+        def writer(wid):
+            rng = random.Random(wid)
+            for i in range(20):
+                txn = db.begin()
+                key = rng.randrange(10_000)
+                rid = f"{wid}-{i}"
+                try:
+                    tree.insert(txn, key, rid)
+                    db.commit(txn)
+                    with lock:
+                        committed.append((key, rid))
+                except TransactionAbort:
+                    db.rollback(txn)
+
+        run_threads([lambda w=w: writer(w) for w in range(6)])
+        db.crash()
+        db2 = db.restart({"c": BTreeExtension()})
+        tree2 = db2.tree("c")
+        txn = db2.begin()
+        found = set(tree2.search(txn, Interval(0, 10_000)))
+        db2.commit(txn)
+        assert found == set(committed)
+        assert check_tree(tree2).ok

@@ -1,0 +1,118 @@
+"""Additional cursor behaviours: interleaving, reuse, edge cases."""
+
+from repro.database import Database
+from repro.ext.btree import BTreeExtension, Interval
+from repro.txn.transaction import IsolationLevel
+
+
+def build(n=60):
+    db = Database(page_capacity=4, lock_timeout=10.0)
+    tree = db.create_tree("cur", BTreeExtension())
+    txn = db.begin()
+    for i in range(n):
+        tree.insert(txn, i, f"r{i}")
+    db.commit(txn)
+    return db, tree
+
+
+class TestCursorInterleaving:
+    def test_two_cursors_same_transaction(self):
+        db, tree = build()
+        txn = db.begin()
+        a = tree.open_cursor(txn, Interval(0, 29))
+        b = tree.open_cursor(txn, Interval(30, 59))
+        rows = []
+        while True:
+            ra = a.fetch_next()
+            rb = b.fetch_next()
+            if ra is None and rb is None:
+                break
+            rows.extend(r for r in (ra, rb) if r is not None)
+        a.close()
+        b.close()
+        db.commit(txn)
+        assert {k for k, _ in rows} == set(range(60))
+
+    def test_cursor_sees_own_transactions_inserts(self):
+        db, tree = build(n=10)
+        txn = db.begin()
+        tree.insert(txn, 100, "mine")
+        cursor = tree.open_cursor(txn, Interval(90, 110))
+        rows = cursor.fetch_all()
+        cursor.close()
+        db.commit(txn)
+        assert rows == [(100, "mine")]
+
+    def test_cursor_results_never_duplicate_under_writer(self):
+        """Footnote 9: rescans deduplicate by data RID even when the
+        leaf splits mid-scan."""
+        import threading
+
+        db, tree = build(n=40)
+        txn = db.begin(IsolationLevel.READ_COMMITTED)
+        cursor = tree.open_cursor(txn, Interval(0, 39))
+        first_rows = [cursor.fetch_next() for _ in range(5)]
+
+        def writer():
+            wtxn = db.begin()
+            for i in range(20):
+                tree.insert(wtxn, 20 + i % 5, f"w{i}")
+            db.commit(wtxn)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        t.join(20.0)
+        rest = cursor.fetch_all()
+        cursor.close()
+        db.commit(txn)
+        rids = [r for _, r in first_rows + rest]
+        assert len(rids) == len(set(rids))
+        # all 40 preloaded rows are found (they never moved logically)
+        assert {f"r{i}" for i in range(40)} <= set(rids)
+
+    def test_closed_cursor_is_idempotent(self):
+        db, tree = build(n=5)
+        txn = db.begin()
+        cursor = tree.open_cursor(txn, Interval(0, 5))
+        cursor.fetch_all()
+        cursor.close()
+        cursor.close()  # no error
+        db.commit(txn)
+
+    def test_abandoned_cursor_cleaned_by_close(self):
+        db, tree = build()
+        txn = db.begin()
+        cursor = tree.open_cursor(txn, Interval(0, 59))
+        cursor.fetch_next()  # stack still holds pointers
+        assert cursor.stack
+        cursor.close()
+        assert cursor.stack == []
+        db.commit(txn)
+
+
+class TestEmptyAndDegenerate:
+    def test_cursor_on_empty_tree(self):
+        db = Database(page_capacity=4)
+        tree = db.create_tree("e", BTreeExtension())
+        txn = db.begin()
+        cursor = tree.open_cursor(txn, Interval(0, 10))
+        assert cursor.fetch_next() is None
+        cursor.close()
+        db.commit(txn)
+
+    def test_zero_width_interval(self):
+        db, tree = build(n=10)
+        txn = db.begin()
+        assert tree.search(txn, Interval(5, 5)) == [(5, "r5")]
+        db.commit(txn)
+
+    def test_search_single_entry_tree(self):
+        db = Database(page_capacity=4)
+        tree = db.create_tree("one", BTreeExtension())
+        txn = db.begin()
+        tree.insert(txn, 7, "only")
+        db.commit(txn)
+        txn = db.begin()
+        assert tree.search(txn, Interval(0, 10)) == [(7, "only")]
+        assert tree.search(txn, Interval(8, 10)) == []
+        db.commit(txn)

@@ -1,0 +1,156 @@
+"""Logical deletion (section 7)."""
+
+import pytest
+
+from repro.errors import KeyNotFoundError
+from repro.ext.btree import BTreeExtension, Interval
+from repro.lock.modes import LockMode
+from repro.sync.latch import LatchMode
+
+
+def find_entry(db, tree, key, rid):
+    for pid in tree.all_pids():
+        with db.pool.fixed(pid, LatchMode.S) as frame:
+            if not frame.page.is_leaf:
+                continue
+            entry = frame.page.find_leaf_entry(key, rid)
+            if entry is not None:
+                return entry.copy()
+    return None
+
+
+class TestLogicalDelete:
+    def test_delete_marks_not_removes(self, db, loaded_btree):
+        txn = db.begin()
+        loaded_btree.delete(txn, 5, "r5")
+        db.commit(txn)
+        entry = find_entry(db, loaded_btree, 5, "r5")
+        assert entry is not None  # physically present
+        assert entry.deleted
+        assert entry.delete_xid == txn.xid
+
+    def test_deleted_entry_invisible_to_new_search(self, db, loaded_btree):
+        txn = db.begin()
+        loaded_btree.delete(txn, 5, "r5")
+        db.commit(txn)
+        check = db.begin()
+        assert loaded_btree.search(check, Interval(5, 5)) == []
+        db.commit(check)
+
+    def test_delete_xlocks_record(self, db, loaded_btree):
+        txn = db.begin()
+        loaded_btree.delete(txn, 5, "r5")
+        assert db.locks.held_mode(txn.xid, ("rid", "r5")) == LockMode.X
+        db.commit(txn)
+
+    def test_delete_missing_key_raises(self, db, loaded_btree):
+        txn = db.begin()
+        with pytest.raises(KeyNotFoundError):
+            loaded_btree.delete(txn, 5000, "nope")
+        db.rollback(txn)
+
+    def test_delete_wrong_rid_raises(self, db, loaded_btree):
+        txn = db.begin()
+        with pytest.raises(KeyNotFoundError):
+            loaded_btree.delete(txn, 5, "r6")
+        db.rollback(txn)
+
+    def test_double_delete_same_txn_raises(self, db, loaded_btree):
+        txn = db.begin()
+        loaded_btree.delete(txn, 5, "r5")
+        with pytest.raises(KeyNotFoundError):
+            loaded_btree.delete(txn, 5, "r5")
+        db.rollback(txn)
+
+    def test_delete_after_committed_delete_raises(self, db, loaded_btree):
+        txn = db.begin()
+        loaded_btree.delete(txn, 5, "r5")
+        db.commit(txn)
+        txn = db.begin()
+        with pytest.raises(KeyNotFoundError):
+            loaded_btree.delete(txn, 5, "r5")
+        db.rollback(txn)
+
+    def test_bp_not_shrunk_by_delete(self, db, btree):
+        """The path to a marked entry must survive (section 7): BPs are
+        only shrunk by garbage collection after commit."""
+        txn = db.begin()
+        for i in range(50):
+            btree.insert(txn, i, f"r{i}")
+        db.commit(txn)
+        # snapshot all BPs
+        before = {}
+        for pid in btree.all_pids():
+            with db.pool.fixed(pid, LatchMode.S) as frame:
+                before[pid] = frame.page.bp
+        txn = db.begin()
+        btree.delete(txn, 49, "r49")  # extreme key of some BP
+        db.commit(txn)
+        for pid, bp in before.items():
+            with db.pool.fixed(pid, LatchMode.S) as frame:
+                assert frame.page.bp == bp
+
+    def test_delete_then_reinsert_same_key_new_rid(self, db, loaded_btree):
+        txn = db.begin()
+        loaded_btree.delete(txn, 5, "r5")
+        loaded_btree.insert(txn, 5, "r5-new")
+        db.commit(txn)
+        check = db.begin()
+        assert loaded_btree.search(check, Interval(5, 5)) == [
+            (5, "r5-new")
+        ]
+        db.commit(check)
+
+
+class TestDeleteRollback:
+    def test_rollback_unmarks(self, db, loaded_btree):
+        txn = db.begin()
+        loaded_btree.delete(txn, 5, "r5")
+        db.rollback(txn)
+        entry = find_entry(db, loaded_btree, 5, "r5")
+        assert entry is not None and not entry.deleted
+        check = db.begin()
+        assert loaded_btree.search(check, Interval(5, 5)) == [(5, "r5")]
+        db.commit(check)
+
+    def test_rr_scan_blocks_on_uncommitted_delete(self, db, loaded_btree):
+        """A repeatable-read scan hitting a logically deleted entry must
+        wait for the deleter (via the record lock) — here the deleter
+        aborts, so the scan sees the entry."""
+        import threading
+
+        deleter = db.begin()
+        loaded_btree.delete(deleter, 5, "r5")
+        results = []
+
+        def scan():
+            txn = db.begin()
+            results.append(loaded_btree.search(txn, Interval(5, 5)))
+            db.commit(txn)
+
+        t = threading.Thread(target=scan)
+        t.start()
+        t.join(0.2)
+        assert t.is_alive()  # blocked on the deleter's record lock
+        db.rollback(deleter)
+        t.join(5.0)
+        assert results == [[(5, "r5")]]
+
+    def test_rr_scan_skips_after_deleter_commits(self, db, loaded_btree):
+        import threading
+
+        deleter = db.begin()
+        loaded_btree.delete(deleter, 5, "r5")
+        results = []
+
+        def scan():
+            txn = db.begin()
+            results.append(loaded_btree.search(txn, Interval(4, 6)))
+            db.commit(txn)
+
+        t = threading.Thread(target=scan)
+        t.start()
+        t.join(0.2)
+        db.commit(deleter)
+        t.join(5.0)
+        assert sorted(k for k, _ in results[0]) == [4, 6]

@@ -1,0 +1,112 @@
+"""Remaining logical-deletion edge cases (§7 corner semantics)."""
+
+import pytest
+
+from repro.database import Database
+from repro.errors import KeyNotFoundError
+from repro.ext.btree import BTreeExtension, Interval
+from repro.gist.checker import check_tree
+from repro.gist.maintenance import vacuum
+
+
+def build(n=20):
+    db = Database(page_capacity=4, lock_timeout=10.0)
+    tree = db.create_tree("de", BTreeExtension())
+    txn = db.begin()
+    for i in range(n):
+        tree.insert(txn, i, f"r{i}")
+    db.commit(txn)
+    return db, tree
+
+
+class TestDeleteInsertInterplay:
+    def test_insert_delete_insert_same_rid_in_one_txn(self):
+        """A rid can be re-inserted after its tombstone is collected;
+        within one transaction the sequence delete→insert of the same
+        rid must leave exactly one live entry."""
+        db, tree = build(5)
+        txn = db.begin()
+        tree.delete(txn, 3, "r3")
+        tree.insert(txn, 300, "r3")  # same rid, new key
+        db.commit(txn)
+        check = db.begin()
+        rows = [
+            (k, r)
+            for k, r in tree.search(check, Interval(0, 1000))
+            if r == "r3"
+        ]
+        db.commit(check)
+        assert rows == [(300, "r3")]
+        # the tombstone under key 3 plus the live entry under key 300
+        # coexist physically until vacuum, but never logically
+        report = check_tree(tree)
+        assert report.ok
+
+    def test_vacuum_after_reinsert_keeps_live_row(self):
+        db, tree = build(5)
+        txn = db.begin()
+        tree.delete(txn, 3, "r3")
+        tree.insert(txn, 300, "r3")
+        db.commit(txn)
+        txn = db.begin()
+        vacuum(tree, txn)
+        db.commit(txn)
+        check = db.begin()
+        assert tree.search(check, Interval(300, 300)) == [(300, "r3")]
+        assert tree.search(check, Interval(3, 3)) == []
+        db.commit(check)
+        report = check_tree(tree)
+        assert report.ok and report.leaf_entries == report.live_entries
+
+    def test_rollback_of_delete_then_reinsert(self):
+        """Rolling back delete(k1,r)+insert(k2,r) must restore the
+        original row exactly (LIFO: remove the new entry, unmark the
+        old)."""
+        db, tree = build(5)
+        txn = db.begin()
+        tree.delete(txn, 3, "r3")
+        tree.insert(txn, 300, "r3")
+        db.rollback(txn)
+        check = db.begin()
+        rows = [
+            (k, r)
+            for k, r in tree.search(check, Interval(0, 1000))
+            if r == "r3"
+        ]
+        db.commit(check)
+        assert rows == [(3, "r3")]
+        assert check_tree(tree).ok
+
+    def test_delete_all_duplicate_keys_individually(self):
+        db = Database(page_capacity=4, lock_timeout=10.0)
+        tree = db.create_tree("dup", BTreeExtension())
+        txn = db.begin()
+        for i in range(6):
+            tree.insert(txn, 7, f"d{i}")
+        db.commit(txn)
+        txn = db.begin()
+        for i in range(6):
+            tree.delete(txn, 7, f"d{i}")
+        with pytest.raises(KeyNotFoundError):
+            tree.delete(txn, 7, "d0")  # already gone
+        db.commit(txn)
+        check = db.begin()
+        assert tree.search(check, Interval(7, 7)) == []
+        db.commit(check)
+
+    def test_delete_where_then_vacuum_then_crash(self):
+        db, tree = build(40)
+        txn = db.begin()
+        tree.delete_where(txn, Interval(0, 19))
+        db.commit(txn)
+        txn = db.begin()
+        vacuum(tree, txn)
+        db.commit(txn)
+        db.crash()
+        db2 = db.restart({"de": BTreeExtension()})
+        tree2 = db2.tree("de")
+        check = db2.begin()
+        found = {k for k, _ in tree2.search(check, Interval(0, 100))}
+        db2.commit(check)
+        assert found == set(range(20, 40))
+        assert check_tree(tree2).ok

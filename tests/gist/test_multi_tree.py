@@ -1,0 +1,100 @@
+"""Transactions spanning several trees (atomicity across indexes)."""
+
+from repro.database import Database
+from repro.ext.btree import BTreeExtension, Interval
+from repro.ext.rtree import Rect, RTreeExtension
+from repro.gist.checker import check_tree
+
+
+def build():
+    db = Database(page_capacity=8, lock_timeout=10.0)
+    by_id = db.create_tree("by_id", BTreeExtension(), unique=True)
+    by_loc = db.create_tree("by_loc", RTreeExtension())
+    return db, by_id, by_loc
+
+
+class TestCrossTreeAtomicity:
+    def test_commit_applies_to_both(self):
+        db, by_id, by_loc = build()
+        txn = db.begin()
+        by_id.insert(txn, 7, "store-7")
+        by_loc.insert(txn, Rect.point(0.3, 0.4), "store-7")
+        db.commit(txn)
+        check = db.begin()
+        assert by_id.search(check, Interval(7, 7)) == [(7, "store-7")]
+        assert len(by_loc.search(check, Rect(0, 0, 1, 1))) == 1
+        db.commit(check)
+
+    def test_rollback_undoes_both(self):
+        db, by_id, by_loc = build()
+        txn = db.begin()
+        by_id.insert(txn, 7, "store-7")
+        by_loc.insert(txn, Rect.point(0.3, 0.4), "store-7")
+        db.rollback(txn)
+        check = db.begin()
+        assert by_id.search(check, Interval(0, 100)) == []
+        assert by_loc.search(check, Rect(0, 0, 1, 1)) == []
+        db.commit(check)
+
+    def test_crash_recovers_both_consistently(self):
+        db, by_id, by_loc = build()
+        txn = db.begin()
+        for i in range(20):
+            by_id.insert(txn, i, f"s{i}")
+            by_loc.insert(txn, Rect.point(i / 20, i / 20), f"s{i}")
+        db.commit(txn)
+        loser = db.begin()
+        by_id.insert(loser, 99, "lost")
+        by_loc.insert(loser, Rect.point(0.99, 0.99), "lost")
+        db.log.flush()
+        db.crash()
+        db2 = db.restart(
+            {"by_id": BTreeExtension(), "by_loc": RTreeExtension()}
+        )
+        check = db2.begin()
+        ids = {r for _, r in db2.tree("by_id").search(check, Interval(0, 100))}
+        locs = {
+            r
+            for _, r in db2.tree("by_loc").search(check, Rect(0, 0, 1, 1))
+        }
+        db2.commit(check)
+        assert ids == locs == {f"s{i}" for i in range(20)}
+        assert check_tree(db2.tree("by_id")).ok
+        assert check_tree(db2.tree("by_loc")).ok
+
+    def test_partial_rollback_spans_trees(self):
+        db, by_id, by_loc = build()
+        txn = db.begin()
+        by_id.insert(txn, 1, "keep")
+        by_loc.insert(txn, Rect.point(0.1, 0.1), "keep")
+        sp = db.txns.savepoint(txn)
+        by_id.insert(txn, 2, "drop")
+        by_loc.insert(txn, Rect.point(0.2, 0.2), "drop")
+        db.txns.rollback_to_savepoint(txn, sp)
+        db.commit(txn)
+        check = db.begin()
+        assert {r for _, r in by_id.search(check, Interval(0, 10))} == {
+            "keep"
+        }
+        assert {
+            r for _, r in by_loc.search(check, Rect(0, 0, 1, 1))
+        } == {"keep"}
+        db.commit(check)
+
+    def test_shared_rid_locks_across_trees(self):
+        """The same logical record indexed in two trees shares one
+        record lock name — a second tree's insert for the same rid is
+        reentrant, a competitor's blocks."""
+        db, by_id, by_loc = build()
+        txn = db.begin()
+        by_id.insert(txn, 1, "rec")
+        by_loc.insert(txn, Rect.point(0.5, 0.5), "rec")  # same rid: fine
+        other = db.begin()
+        granted = db.locks.acquire(
+            other.xid, ("rid", "rec"), __import__(
+                "repro.lock.modes", fromlist=["LockMode"]
+            ).LockMode.S, wait=False,
+        )
+        assert not granted
+        db.commit(txn)
+        db.commit(other)

@@ -1,0 +1,104 @@
+"""Root-split edge cases (the construction DESIGN.md §4b documents)."""
+
+from repro.database import Database
+from repro.ext.btree import BTreeExtension, Interval
+from repro.gist.checker import check_tree
+from repro.storage.page import NO_PAGE
+from repro.sync.latch import LatchMode
+
+
+def build(capacity=4):
+    db = Database(page_capacity=capacity, lock_timeout=10.0)
+    tree = db.create_tree("rs", BTreeExtension())
+    return db, tree
+
+
+class TestRootSplitStructure:
+    def test_root_pid_is_stable_across_growth(self):
+        db, tree = build()
+        root_before = tree.root_pid
+        txn = db.begin()
+        for i in range(500):
+            tree.insert(txn, i, f"r{i}")
+        db.commit(txn)
+        assert tree.root_pid == root_before
+        assert tree.height() >= 4
+
+    def test_root_never_has_rightlink(self):
+        db, tree = build()
+        txn = db.begin()
+        for i in range(200):
+            tree.insert(txn, i, f"r{i}")
+        db.commit(txn)
+        with db.pool.fixed(tree.root_pid, LatchMode.S) as frame:
+            assert frame.page.rightlink == NO_PAGE
+
+    def test_children_of_grown_root_are_chained(self):
+        db, tree = build()
+        txn = db.begin()
+        for i in range(5):  # exactly one root split at capacity 4
+            tree.insert(txn, i, f"r{i}")
+        db.commit(txn)
+        with db.pool.fixed(tree.root_pid, LatchMode.S) as frame:
+            page = frame.page
+            assert page.is_internal and len(page.entries) == 2
+            left_pid = page.entries[0].child
+            right_pid = page.entries[1].child
+        with db.pool.fixed(left_pid, LatchMode.S) as frame:
+            assert frame.page.rightlink == right_pid
+            left_nsn = frame.page.nsn
+        with db.pool.fixed(right_pid, LatchMode.S) as frame:
+            assert frame.page.rightlink == NO_PAGE
+            assert frame.page.nsn == left_nsn  # both inherit the old NSN
+
+    def test_internal_root_split(self):
+        """The recursive case: a full *internal* root grows a level."""
+        db, tree = build()
+        txn = db.begin()
+        # enough keys to grow past height 2 (internal root splits)
+        for i in range(100):
+            tree.insert(txn, i, f"r{i}")
+        db.commit(txn)
+        assert tree.height() >= 3
+        assert tree.stats.root_splits >= 2
+        assert check_tree(tree).ok
+
+    def test_search_during_same_txn_after_root_split(self):
+        db, tree = build()
+        txn = db.begin()
+        for i in range(5):
+            tree.insert(txn, i, f"r{i}")
+        # the stack the insert kept predates the root split; the
+        # subsequent search must still be complete
+        result = tree.search(txn, Interval(0, 4))
+        assert len(result) == 5
+        db.commit(txn)
+
+    def test_rollback_of_txn_that_grew_root(self):
+        """Root splits are atomic actions: rolling the transaction back
+        removes its keys but the grown structure stays."""
+        db, tree = build()
+        txn = db.begin()
+        for i in range(10):
+            tree.insert(txn, i, f"r{i}")
+        assert tree.stats.root_splits >= 1
+        db.rollback(txn)
+        check = db.begin()
+        assert tree.search(check, Interval(0, 100)) == []
+        db.commit(check)
+        assert tree.height() >= 2  # structure survived the rollback
+        assert check_tree(tree).ok
+
+    def test_crash_right_after_root_split(self):
+        db, tree = build()
+        txn = db.begin()
+        for i in range(5):
+            tree.insert(txn, i, f"r{i}")
+        db.commit(txn)
+        db.crash()  # nothing flushed: the grown root lives in the log
+        db2 = db.restart({"rs": BTreeExtension()})
+        tree2 = db2.tree("rs")
+        check = db2.begin()
+        assert len(tree2.search(check, Interval(0, 10))) == 5
+        db2.commit(check)
+        assert check_tree(tree2).ok

@@ -1,0 +1,151 @@
+"""Unique-index insertion (section 8)."""
+
+import threading
+
+import pytest
+
+from repro.database import Database
+from repro.errors import TransactionAbort, UniqueViolationError
+from repro.ext.btree import BTreeExtension, Interval
+from repro.lock.modes import LockMode
+
+
+@pytest.fixture
+def unique_tree(db):
+    return db.create_tree("uq", BTreeExtension(), unique=True)
+
+
+class TestUniqueBasics:
+    def test_insert_then_duplicate_raises(self, db, unique_tree):
+        txn = db.begin()
+        unique_tree.insert(txn, 5, "r5")
+        db.commit(txn)
+        txn = db.begin()
+        with pytest.raises(UniqueViolationError):
+            unique_tree.insert(txn, 5, "other")
+        db.rollback(txn)
+
+    def test_distinct_keys_fine(self, db, unique_tree):
+        txn = db.begin()
+        for i in range(50):
+            unique_tree.insert(txn, i, f"r{i}")
+        db.commit(txn)
+        txn = db.begin()
+        assert len(unique_tree.search(txn, Interval(0, 49))) == 50
+        db.commit(txn)
+
+    def test_duplicate_within_own_txn_raises(self, db, unique_tree):
+        txn = db.begin()
+        unique_tree.insert(txn, 5, "r5")
+        with pytest.raises(UniqueViolationError):
+            unique_tree.insert(txn, 5, "again")
+        db.rollback(txn)
+
+    def test_error_is_repeatable(self, db, unique_tree):
+        """Section 8: the duplicate's record is S-locked, so the error
+        reproduces on retry inside the same transaction."""
+        setup = db.begin()
+        unique_tree.insert(setup, 5, "r5")
+        db.commit(setup)
+        txn = db.begin()
+        with pytest.raises(UniqueViolationError):
+            unique_tree.insert(txn, 5, "mine")
+        # the duplicate's data record is now S-locked by txn
+        assert db.locks.held_mode(txn.xid, ("rid", "r5")) == LockMode.S
+        with pytest.raises(UniqueViolationError):
+            unique_tree.insert(txn, 5, "mine")
+        db.rollback(txn)
+
+    def test_reinsert_after_committed_delete(self, db, unique_tree):
+        txn = db.begin()
+        unique_tree.insert(txn, 5, "r5")
+        db.commit(txn)
+        txn = db.begin()
+        unique_tree.delete(txn, 5, "r5")
+        db.commit(txn)
+        txn = db.begin()
+        unique_tree.insert(txn, 5, "r5b")  # no violation
+        db.commit(txn)
+
+    def test_insert_predicates_cleaned_up(self, db, unique_tree):
+        txn = db.begin()
+        unique_tree.insert(txn, 5, "r5")
+        # the "= key" predicates are released when the operation ends,
+        # before end of transaction (section 8)
+        assert unique_tree.predicates.predicates_of(txn.xid) == []
+        db.commit(txn)
+
+
+class TestUniqueRace:
+    def test_racing_inserters_one_wins(self):
+        """Two transactions inserting the same key concurrently: one
+        commits, the other ends in a deadlock abort or a unique
+        violation — never two copies of the key (section 8)."""
+        db = Database(page_capacity=4, lock_timeout=10.0)
+        tree = db.create_tree("uq", BTreeExtension(), unique=True)
+        outcomes = []
+        barrier = threading.Barrier(2)
+
+        def racer(rid: str):
+            barrier.wait()
+            txn = db.begin()
+            try:
+                tree.insert(txn, 99, rid)
+                db.commit(txn)
+                outcomes.append(("committed", rid))
+            except UniqueViolationError:
+                db.rollback(txn)
+                outcomes.append(("violation", rid))
+            except TransactionAbort:
+                try:
+                    db.rollback(txn)
+                except Exception:
+                    pass
+                outcomes.append(("deadlock", rid))
+
+        threads = [
+            threading.Thread(target=racer, args=(f"racer-{i}",))
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(15.0)
+        kinds = sorted(kind for kind, _ in outcomes)
+        assert kinds[0] == "committed" or "committed" in kinds
+        assert kinds.count("committed") == 1
+        txn = db.begin()
+        assert len(tree.search(txn, Interval(99, 99))) == 1
+        db.commit(txn)
+
+    def test_many_racing_keys(self):
+        db = Database(page_capacity=8, lock_timeout=10.0)
+        tree = db.create_tree("uq", BTreeExtension(), unique=True)
+        committed = []
+
+        def worker(wid: int):
+            for key in range(10):
+                txn = db.begin()
+                try:
+                    tree.insert(txn, key, f"w{wid}-k{key}")
+                    db.commit(txn)
+                    committed.append(key)
+                except (UniqueViolationError, TransactionAbort):
+                    try:
+                        db.rollback(txn)
+                    except Exception:
+                        pass
+
+        threads = [
+            threading.Thread(target=worker, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        txn = db.begin()
+        result = tree.search(txn, Interval(0, 9))
+        db.commit(txn)
+        keys = [k for k, _ in result]
+        assert len(keys) == len(set(keys))  # uniqueness held
+        assert sorted(set(committed)) == sorted(keys)

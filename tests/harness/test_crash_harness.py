@@ -1,0 +1,46 @@
+"""The crash harness itself: result plumbing and oracle correctness."""
+
+from repro.harness.crash import CrashRecoveryHarness, CrashTrialResult
+
+
+class TestTrialResult:
+    def test_ok_requires_all_three(self):
+        result = CrashTrialResult(seed=0)
+        assert not result.ok
+        result.recovered_ok = True
+        result.contents_match = True
+        assert not result.ok
+        result.structure_ok = True
+        assert result.ok
+
+
+class TestHarnessKnobs:
+    def test_commit_probability_zero(self):
+        harness = CrashRecoveryHarness()
+        result = harness.run_trial(3, txns=6, commit_probability=0.0)
+        assert result.committed_txns == 0
+        assert result.uncommitted_txns > 0
+        assert result.ok, result.errors
+
+    def test_commit_probability_one(self):
+        harness = CrashRecoveryHarness()
+        result = harness.run_trial(3, txns=6, commit_probability=1.0)
+        assert result.uncommitted_txns == 0
+        assert result.ok, result.errors
+
+    def test_run_many_distinct_seeds(self):
+        harness = CrashRecoveryHarness()
+        results = harness.run_many(3, base_seed=50, txns=5)
+        assert [r.seed for r in results] == [50, 51, 52]
+        assert all(r.ok for r in results)
+
+    def test_mid_smo_flag_reported(self):
+        harness = CrashRecoveryHarness()
+        result = harness.run_trial(7, txns=5, crash_mid_smo=True)
+        assert result.crashed_mid_smo
+        assert result.ok, result.errors
+
+    def test_small_pages_exercise_deep_trees(self):
+        harness = CrashRecoveryHarness(page_capacity=4)
+        result = harness.run_trial(11, txns=10)
+        assert result.ok, result.errors

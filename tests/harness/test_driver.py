@@ -1,0 +1,95 @@
+"""Benchmark drivers: metrics plumbing and end-to-end sanity."""
+
+from repro.baselines.simpletree import make_baseline
+from repro.database import Database
+from repro.ext.btree import BTreeExtension, Interval
+from repro.harness.driver import (
+    BaselineDriver,
+    DriverMetrics,
+    TransactionalDriver,
+)
+from repro.harness.report import render_table
+from repro.workload.generator import MixSpec, ScalarWorkload
+
+
+class TestDriverMetrics:
+    def test_ops_per_sec(self):
+        metrics = DriverMetrics(ops=100, elapsed=2.0)
+        assert metrics.ops_per_sec == 50.0
+
+    def test_zero_elapsed_safe(self):
+        assert DriverMetrics().ops_per_sec == 0.0
+
+    def test_latency_percentiles(self):
+        metrics = DriverMetrics(
+            latencies=[i / 100 for i in range(1, 101)]
+        )
+        assert metrics.latency_percentile(0.5) == 0.51
+        assert metrics.latency_percentile(0.95) == 0.96
+
+    def test_row_shape(self):
+        metrics = DriverMetrics(protocol="x", threads=2, ops=10, elapsed=1)
+        row = metrics.row()
+        assert row["protocol"] == "x"
+        assert "ops_per_sec" in row and "p95_ms" in row
+
+
+class TestTransactionalDriver:
+    def test_runs_workload_and_counts(self):
+        db = Database(page_capacity=16, lock_timeout=10.0)
+        tree = db.create_tree("w", BTreeExtension())
+        driver = TransactionalDriver(db, tree, ops_per_txn=5)
+        workload = ScalarWorkload(
+            3, mix=MixSpec(0.6, 0.3, 0.1), key_space=10_000
+        )
+        driver.preload(workload.preload(50))
+        metrics = driver.run(list(workload.ops(120)), threads=3)
+        assert metrics.ops > 0
+        assert metrics.commits > 0
+        assert metrics.elapsed > 0
+        assert "rightlinks" in metrics.extra
+
+    def test_tree_consistent_after_run(self):
+        from repro.gist.checker import check_tree
+
+        db = Database(page_capacity=8, lock_timeout=10.0)
+        tree = db.create_tree("w", BTreeExtension())
+        driver = TransactionalDriver(db, tree, ops_per_txn=4)
+        workload = ScalarWorkload(5, key_space=5_000)
+        driver.preload(workload.preload(40))
+        driver.run(list(workload.ops(200)), threads=4)
+        report = check_tree(tree)
+        assert report.ok, report.errors
+
+
+class TestBaselineDriver:
+    def test_runs_against_baseline(self):
+        tree = make_baseline("link", BTreeExtension(), page_capacity=16)
+        driver = BaselineDriver(tree)
+        workload = ScalarWorkload(3, key_space=10_000)
+        driver.preload(workload.preload(50))
+        metrics = driver.run(list(workload.ops(100)), threads=4)
+        assert metrics.ops == 100
+        assert metrics.protocol == "link"
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        rows = [
+            {"a": 1, "b": "xy"},
+            {"a": 22.5, "b": "longer-value"},
+        ]
+        out = render_table(rows, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_empty(self):
+        assert "(no rows)" in render_table([], title="T")
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        out = render_table(rows, columns=["c", "a"])
+        header = out.splitlines()[0]
+        assert "c" in header and "a" in header and "b" not in header

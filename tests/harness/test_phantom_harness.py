@@ -1,0 +1,49 @@
+"""Unit coverage of the phantom-probe harness itself."""
+
+from repro.harness.phantoms import AnomalyReport, run_phantom_campaign
+from repro.txn.transaction import IsolationLevel
+
+
+class TestAnomalyReport:
+    def test_rate_zero_probes(self):
+        assert AnomalyReport().anomaly_rate == 0.0
+
+    def test_rate(self):
+        report = AnomalyReport(probes=10, anomalies=3)
+        assert report.anomaly_rate == 0.3
+
+
+class TestCampaignPlumbing:
+    def test_reports_isolation_name(self):
+        report = run_phantom_campaign(
+            isolation=IsolationLevel.REPEATABLE_READ,
+            probes=2,
+            writers=1,
+            preload=50,
+            think_time=0.001,
+        )
+        assert report.isolation == "repeatable-read"
+        assert report.probes <= 2
+
+    def test_zero_writers_zero_anomalies_trivially(self):
+        report = run_phantom_campaign(
+            isolation=IsolationLevel.READ_COMMITTED,
+            probes=3,
+            writers=0,
+            preload=50,
+            think_time=0.0,
+        )
+        assert report.anomalies == 0
+        assert report.writer_commits == 0
+
+    def test_phantom_rids_recorded_on_anomaly(self):
+        report = run_phantom_campaign(
+            isolation=IsolationLevel.READ_COMMITTED,
+            probes=6,
+            writers=3,
+            preload=200,
+            think_time=0.02,
+            seed=3,
+        )
+        if report.anomalies:
+            assert report.phantom_rids

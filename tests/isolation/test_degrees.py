@@ -1,0 +1,137 @@
+"""The three isolation degrees side by side ([Gra78] / section 4)."""
+
+import threading
+
+from repro.database import Database
+from repro.ext.btree import BTreeExtension, Interval
+from repro.txn.transaction import IsolationLevel
+
+
+def build():
+    db = Database(page_capacity=8, lock_timeout=10.0)
+    tree = db.create_tree("deg", BTreeExtension())
+    txn = db.begin()
+    for i in range(20):
+        tree.insert(txn, i, f"r{i}")
+    db.commit(txn)
+    return db, tree
+
+
+class TestDegree1:
+    def test_dirty_read_sees_uncommitted_insert(self):
+        db, tree = build()
+        writer = db.begin()
+        tree.insert(writer, 100, "dirty")
+        reader = db.begin(IsolationLevel.READ_UNCOMMITTED)
+        found = tree.search(reader, Interval(100, 100))
+        db.commit(reader)
+        assert found == [(100, "dirty")]  # dirty read, by design
+        db.rollback(writer)
+
+    def test_dirty_read_never_blocks(self):
+        db, tree = build()
+        writer = db.begin()
+        tree.delete(writer, 5, "r5")  # X lock held
+        reader = db.begin(IsolationLevel.READ_UNCOMMITTED)
+        done = threading.Event()
+        result = []
+
+        def scan():
+            result.append(tree.search(reader, Interval(0, 19)))
+            done.set()
+
+        t = threading.Thread(target=scan)
+        t.start()
+        assert done.wait(2.0), "degree-1 read must not block on locks"
+        t.join()
+        db.commit(reader)
+        # the uncommitted delete is honoured optimistically
+        assert (5, "r5") not in result[0]
+        db.rollback(writer)
+
+    def test_no_locks_no_predicates_left(self):
+        db, tree = build()
+        reader = db.begin(IsolationLevel.READ_UNCOMMITTED)
+        tree.search(reader, Interval(0, 19))
+        assert not [
+            n
+            for n in db.locks.locks_of(reader.xid)
+            if isinstance(n, tuple) and n[0] == "rid"
+        ]
+        assert tree.predicates.predicates_of(reader.xid) == []
+        db.commit(reader)
+
+
+class TestDegreeLadder:
+    def test_each_degree_strictly_stronger(self):
+        """One scenario, three degrees: an uncommitted insert in the
+        scanned range.  Degree 1 sees it (dirty read); degree 2 blocks
+        until the writer finishes, then sees the committed value;
+        degree 3 additionally keeps the range stable across re-reads."""
+        db, tree = build()
+
+        # Degree 1
+        writer = db.begin()
+        tree.insert(writer, 50, "w1")
+        d1 = db.begin(IsolationLevel.READ_UNCOMMITTED)
+        assert tree.search(d1, Interval(50, 50)) == [(50, "w1")]
+        db.commit(d1)
+        db.rollback(writer)
+
+        # Degree 2: the reader blocks, then sees the final state
+        writer = db.begin()
+        tree.insert(writer, 50, "w2")
+        results = []
+
+        def d2_scan():
+            txn = db.begin(IsolationLevel.READ_COMMITTED)
+            results.append(tree.search(txn, Interval(50, 50)))
+            db.commit(txn)
+
+        t = threading.Thread(target=d2_scan)
+        t.start()
+        t.join(0.2)
+        assert t.is_alive()
+        db.commit(writer)
+        t.join(5.0)
+        assert results == [[(50, "w2")]]
+
+        # Degree 3: double read stable even against new writers
+        d3 = db.begin(IsolationLevel.REPEATABLE_READ)
+        first = tree.search(d3, Interval(40, 60))
+
+        def late_writer():
+            txn = db.begin()
+            try:
+                tree.insert(txn, 55, "late")
+                db.commit(txn)
+            except Exception:
+                try:
+                    db.rollback(txn)
+                except Exception:
+                    pass
+
+        t = threading.Thread(target=late_writer)
+        t.start()
+        t.join(0.2)
+        second = tree.search(d3, Interval(40, 60))
+        assert first == second
+        db.commit(d3)
+        t.join(10.0)
+
+
+class TestStatsFacade:
+    def test_database_stats_shape(self):
+        db, tree = build()
+        snapshot = db.stats()
+        assert snapshot["txns"]["committed"] == 1
+        assert snapshot["trees"]["deg"]["inserts"] == 20
+        assert snapshot["log"]["end_lsn"] > 0
+        assert set(snapshot) == {
+            "io",
+            "buffer",
+            "log",
+            "locks",
+            "txns",
+            "trees",
+        }

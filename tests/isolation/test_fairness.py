@@ -1,0 +1,150 @@
+"""FIFO predicate fairness — the anti-starvation rule of section 10.3.
+
+Without it, a blocked insert could starve forever: while it waits for
+one scan's predicate, new scans keep attaching predicates it would have
+to wait for next.  The fix: predicates attach to a node in FIFO order,
+an operation only checks predicates *ahead of its own*, and later scans
+block on the insert's predicate instead of overtaking it.
+"""
+
+import threading
+import time
+
+from repro.database import Database
+from repro.errors import TransactionAbort
+from repro.ext.btree import BTreeExtension, Interval
+
+
+def build():
+    db = Database(page_capacity=8, lock_timeout=15.0)
+    tree = db.create_tree("fair", BTreeExtension())
+    txn = db.begin()
+    for i in range(30):
+        tree.insert(txn, i, f"r{i}")
+    db.commit(txn)
+    return db, tree
+
+
+class TestInsertNotStarved:
+    def test_later_scan_queues_behind_blocked_insert(self):
+        db, tree = build()
+        events = []
+        lock = threading.Lock()
+
+        def note(tag):
+            with lock:
+                events.append(tag)
+
+        reader1 = db.begin()
+        tree.search(reader1, Interval(10, 20))
+        note("reader1-scanned")
+
+        insert_started = threading.Event()
+
+        def inserter():
+            txn = db.begin()
+            insert_started.set()
+            try:
+                tree.insert(txn, 15, "blocked-insert")
+                note("insert-done")
+                db.commit(txn)
+            except TransactionAbort:
+                note("insert-aborted")
+                try:
+                    db.rollback(txn)
+                except Exception:
+                    pass
+
+        def reader2():
+            insert_started.wait()
+            time.sleep(0.15)  # let the insert attach + block first
+            txn = db.begin()
+            try:
+                tree.search(txn, Interval(10, 20))
+                note("reader2-done")
+                db.commit(txn)
+            except TransactionAbort:
+                note("reader2-aborted")
+                try:
+                    db.rollback(txn)
+                except Exception:
+                    pass
+
+        ti = threading.Thread(target=inserter)
+        tr = threading.Thread(target=reader2)
+        ti.start()
+        tr.start()
+        time.sleep(0.4)
+        # neither the insert nor reader2 may have finished: the insert
+        # waits for reader1; reader2 queues behind the insert (it must
+        # NOT overtake, or the insert could starve)
+        with lock:
+            snapshot = list(events)
+        assert "insert-done" not in snapshot
+        assert "reader2-done" not in snapshot
+        db.commit(reader1)
+        ti.join(20.0)
+        tr.join(20.0)
+        with lock:
+            final = list(events)
+        # the insert completes; reader2 completes after it (or one of
+        # them fell to deadlock resolution, which is also starvation-free)
+        if "insert-done" in final and "reader2-done" in final:
+            assert final.index("insert-done") < final.index(
+                "reader2-done"
+            )
+        else:
+            assert "insert-aborted" in final or "reader2-aborted" in final
+
+    def test_stream_of_scans_cannot_lock_out_insert(self):
+        """Continuous scan arrivals while an insert is blocked: the
+        insert must still complete once the *original* scanners are
+        gone, regardless of the newcomers."""
+        db, tree = build()
+        reader1 = db.begin()
+        tree.search(reader1, Interval(10, 20))
+        done = threading.Event()
+        outcome = []
+
+        def inserter():
+            txn = db.begin()
+            try:
+                tree.insert(txn, 15, "victim")
+                db.commit(txn)
+                outcome.append("done")
+            except TransactionAbort:
+                try:
+                    db.rollback(txn)
+                except Exception:
+                    pass
+                outcome.append("aborted")
+            done.set()
+
+        stop = threading.Event()
+
+        def scan_storm():
+            while not stop.is_set():
+                txn = db.begin()
+                try:
+                    tree.search(txn, Interval(10, 20))
+                    db.commit(txn)
+                except TransactionAbort:
+                    try:
+                        db.rollback(txn)
+                    except Exception:
+                        pass
+
+        ti = threading.Thread(target=inserter)
+        storms = [threading.Thread(target=scan_storm) for _ in range(3)]
+        ti.start()
+        for t in storms:
+            t.start()
+        time.sleep(0.2)
+        db.commit(reader1)  # the only scanner ahead of the insert
+        finished = done.wait(15.0)
+        stop.set()
+        for t in storms:
+            t.join(20.0)
+        ti.join(5.0)
+        assert finished, "insert starved by the scan storm"
+        assert outcome and outcome[0] in ("done", "aborted")

@@ -1,0 +1,208 @@
+"""Repeatable read (Degree 3) guarantees of the hybrid mechanism (§4)."""
+
+import threading
+
+from repro.database import Database
+from repro.errors import TransactionAbort
+from repro.ext.btree import BTreeExtension, Interval
+from repro.txn.transaction import IsolationLevel
+
+
+def build(capacity=8):
+    db = Database(page_capacity=capacity, lock_timeout=10.0)
+    tree = db.create_tree("iso", BTreeExtension())
+    txn = db.begin()
+    for i in range(50):
+        tree.insert(txn, i, f"r{i}")
+    db.commit(txn)
+    return db, tree
+
+
+class TestPhantomPrevention:
+    def test_insert_into_scanned_range_blocks(self):
+        """A writer inserting into a range an RR reader has scanned must
+        wait for the reader's predicate (section 4.3)."""
+        db, tree = build()
+        reader = db.begin()
+        first = tree.search(reader, Interval(10, 20))
+        inserted = threading.Event()
+
+        def writer():
+            txn = db.begin()
+            try:
+                tree.insert(txn, 15, "phantom")
+                db.commit(txn)
+            except TransactionAbort:
+                db.rollback(txn)
+            inserted.set()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        t.join(0.3)
+        assert not inserted.is_set()  # blocked on the search predicate
+        # the double read sees the identical result
+        second = tree.search(reader, Interval(10, 20))
+        assert first == second
+        db.commit(reader)
+        assert inserted.wait(10.0)
+        t.join()
+
+    def test_insert_outside_scanned_range_proceeds(self):
+        db, tree = build()
+        reader = db.begin()
+        tree.search(reader, Interval(10, 20))
+        done = threading.Event()
+
+        def writer():
+            txn = db.begin()
+            tree.insert(txn, 45, "elsewhere")
+            db.commit(txn)
+            done.set()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        assert done.wait(5.0), "disjoint insert must not block"
+        t.join()
+        db.commit(reader)
+
+    def test_delete_of_scanned_record_blocks(self):
+        """2PL on data records: deleting a record an RR reader returned
+        must wait for the reader's S lock."""
+        db, tree = build()
+        reader = db.begin()
+        tree.search(reader, Interval(10, 20))
+        deleted = threading.Event()
+
+        def writer():
+            txn = db.begin()
+            try:
+                tree.delete(txn, 15, "r15")
+                db.commit(txn)
+            except TransactionAbort:
+                db.rollback(txn)
+            deleted.set()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        t.join(0.3)
+        assert not deleted.is_set()
+        second = tree.search(reader, Interval(10, 20))
+        assert (15, "r15") in second
+        db.commit(reader)
+        assert deleted.wait(10.0)
+        t.join()
+
+    def test_phantom_from_rollback_prevented(self):
+        """Phantoms can also appear by *rolling back* a delete (§4); the
+        logical-delete design makes the reader block on the tombstone's
+        record lock instead of skipping it prematurely."""
+        db, tree = build()
+        deleter = db.begin()
+        tree.delete(deleter, 15, "r15")
+        results = []
+
+        def reader():
+            txn = db.begin()
+            results.append(tree.search(txn, Interval(10, 20)))
+            db.commit(txn)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        t.join(0.3)
+        assert t.is_alive()  # blocked on the deleter's lock
+        db.rollback(deleter)  # the delete vanishes
+        t.join(10.0)
+        assert (15, "r15") in results[0]
+
+
+class TestReadCommitted:
+    def test_rc_allows_phantoms(self):
+        """Positive control: under READ COMMITTED the same interleaving
+        does produce a phantom."""
+        db, tree = build()
+        reader = db.begin(IsolationLevel.READ_COMMITTED)
+        first = tree.search(reader, Interval(10, 20))
+        writer = db.begin()
+        tree.insert(writer, 15, "phantom")
+        db.commit(writer)  # does not block: no predicate was attached
+        second = tree.search(reader, Interval(10, 20))
+        db.commit(reader)
+        assert len(second) == len(first) + 1
+
+    def test_rc_still_never_reads_uncommitted(self):
+        """Even READ COMMITTED must not see dirty data: an uncommitted
+        insert blocks the reader (instant lock), then disappears."""
+        db, tree = build()
+        writer = db.begin()
+        tree.insert(writer, 15, "dirty")
+        results = []
+
+        def reader():
+            txn = db.begin(IsolationLevel.READ_COMMITTED)
+            results.append(tree.search(txn, Interval(15, 15)))
+            db.commit(txn)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        t.join(0.3)
+        assert t.is_alive()  # blocked on the inserter's X lock
+        db.rollback(writer)
+        t.join(10.0)
+        assert results[0] == [(15, "r15")]
+
+
+class TestWriterWriterConflicts:
+    def test_two_inserts_different_rids_no_conflict(self):
+        db, tree = build()
+        t1 = db.begin()
+        t2 = db.begin()
+        tree.insert(t1, 100, "a")
+        tree.insert(t2, 101, "b")
+        db.commit(t1)
+        db.commit(t2)
+
+    def test_deadlock_between_reader_and_writer_resolves(self):
+        """Reader holds record S locks and wants more; writer holds a
+        record X lock and blocks on the reader's predicate: the cycle
+        must be detected, not hang."""
+        db, tree = build()
+        outcomes = []
+        barrier = threading.Barrier(2)
+
+        def reader():
+            barrier.wait()
+            txn = db.begin()
+            try:
+                tree.search(txn, Interval(0, 49))
+                tree.search(txn, Interval(0, 49))
+                db.commit(txn)
+                outcomes.append("reader-ok")
+            except TransactionAbort:
+                db.rollback(txn)
+                outcomes.append("reader-abort")
+
+        def writer():
+            barrier.wait()
+            txn = db.begin()
+            try:
+                for i in range(5):
+                    tree.insert(txn, 25, f"w{i}")
+                db.commit(txn)
+                outcomes.append("writer-ok")
+            except TransactionAbort:
+                try:
+                    db.rollback(txn)
+                except Exception:
+                    pass
+                outcomes.append("writer-abort")
+
+        threads = [
+            threading.Thread(target=reader),
+            threading.Thread(target=writer),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(20.0)
+        assert not any(t.is_alive() for t in threads)
+        assert len(outcomes) == 2  # both finished, one way or another

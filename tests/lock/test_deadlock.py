@@ -1,0 +1,151 @@
+"""Deadlock detection tests: cycles must abort exactly one victim."""
+
+import threading
+import time
+
+from repro.errors import DeadlockError
+from repro.lock.manager import LockManager
+from repro.lock.modes import LockMode
+
+S, X = LockMode.S, LockMode.X
+
+
+def run_all(workers):
+    threads = [threading.Thread(target=w) for w in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(10.0)
+    assert not any(t.is_alive() for t in threads)
+
+
+class TestTwoPartyDeadlock:
+    def test_ab_ba_cycle_aborts_one(self):
+        lm = LockManager(default_timeout=10.0)
+        lm.acquire(1, "a", X)
+        lm.acquire(2, "b", X)
+        outcomes = {}
+
+        def t1():
+            try:
+                lm.acquire(1, "b", X)
+                outcomes[1] = "granted"
+            except DeadlockError:
+                outcomes[1] = "victim"
+                lm.release_all(1)
+
+        def t2():
+            try:
+                lm.acquire(2, "a", X)
+                outcomes[2] = "granted"
+            except DeadlockError:
+                outcomes[2] = "victim"
+                lm.release_all(2)
+
+        run_all([t1, t2])
+        assert sorted(outcomes.values()) == ["granted", "victim"]
+        assert lm.stats.deadlocks == 1
+
+    def test_victim_is_youngest(self):
+        lm = LockManager(default_timeout=10.0)
+        lm.acquire(1, "a", X)
+        lm.acquire(2, "b", X)
+        outcomes = {}
+
+        def older():
+            try:
+                lm.acquire(1, "b", X)
+                outcomes[1] = "granted"
+                lm.release_all(1)
+            except DeadlockError:
+                outcomes[1] = "victim"
+                lm.release_all(1)
+
+        def younger():
+            time.sleep(0.05)  # ensure the cycle closes on this request
+            try:
+                lm.acquire(2, "a", X)
+                outcomes[2] = "granted"
+                lm.release_all(2)
+            except DeadlockError:
+                outcomes[2] = "victim"
+                lm.release_all(2)
+
+        run_all([older, younger])
+        assert outcomes[2] == "victim"
+        assert outcomes[1] == "granted"
+
+
+class TestThreePartyDeadlock:
+    def test_cycle_of_three_resolves(self):
+        lm = LockManager(default_timeout=10.0)
+        for owner, name in ((1, "a"), (2, "b"), (3, "c")):
+            lm.acquire(owner, name, X)
+        outcomes = {}
+
+        def make(owner, want):
+            def work():
+                try:
+                    lm.acquire(owner, want, X)
+                    outcomes[owner] = "granted"
+                except DeadlockError:
+                    outcomes[owner] = "victim"
+                finally:
+                    lm.release_all(owner)
+
+            return work
+
+        run_all([make(1, "b"), make(2, "c"), make(3, "a")])
+        assert "victim" in outcomes.values()
+        assert list(outcomes.values()).count("granted") >= 1
+
+
+class TestConversionDeadlock:
+    def test_double_upgrade_deadlocks(self):
+        """Two S holders both converting to X is the classic conversion
+        deadlock; one must be chosen as victim."""
+        lm = LockManager(default_timeout=10.0)
+        lm.acquire(1, "a", S)
+        lm.acquire(2, "a", S)
+        outcomes = {}
+
+        def upgr(owner):
+            def work():
+                try:
+                    lm.acquire(owner, "a", X)
+                    outcomes[owner] = "granted"
+                except DeadlockError:
+                    outcomes[owner] = "victim"
+                    lm.release_all(owner)
+
+            return work
+
+        run_all([upgr(1), upgr(2)])
+        assert sorted(outcomes.values()) == ["granted", "victim"]
+
+
+class TestNoFalsePositives:
+    def test_plain_contention_is_not_deadlock(self):
+        lm = LockManager(default_timeout=10.0)
+        lm.acquire(1, "a", X)
+        results = []
+
+        def waiter(owner):
+            def work():
+                lm.acquire(owner, "a", S)
+                results.append(owner)
+                lm.release_all(owner)
+
+            return work
+
+        threads = [
+            threading.Thread(target=waiter(o)) for o in (2, 3, 4)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.1)
+        lm.release_all(1)
+        for t in threads:
+            t.join(5.0)
+        assert sorted(results) == [2, 3, 4]
+        assert lm.stats.deadlocks == 0

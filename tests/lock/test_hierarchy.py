@@ -1,0 +1,103 @@
+"""Multi-granularity locking protocol tests."""
+
+import threading
+
+from repro.lock.hierarchy import (
+    HierarchicalLocker,
+    record_lock,
+    table_lock,
+)
+from repro.lock.manager import LockManager
+from repro.lock.modes import LockMode
+
+
+def make():
+    return HierarchicalLocker(LockManager(default_timeout=5.0))
+
+
+class TestIntentionCompatibility:
+    def test_readers_and_writers_of_different_records_coexist(self):
+        h = make()
+        assert h.read_record(1, "t", "r1")
+        assert h.write_record(2, "t", "r2")  # IS + IX compatible
+        assert h.locks.held_mode(1, table_lock("t")) == LockMode.IS
+        assert h.locks.held_mode(2, table_lock("t")) == LockMode.IX
+
+    def test_same_record_conflicts(self):
+        h = make()
+        assert h.read_record(1, "t", "r1")
+        assert not h.write_record(2, "t", "r1", wait=False)
+
+    def test_table_scan_blocks_writers(self):
+        h = make()
+        assert h.read_table(1, "t")
+        assert not h.write_record(2, "t", "r1", wait=False)  # IX vs S
+        assert h.read_record(3, "t", "r1", wait=False)  # IS vs S fine
+
+    def test_exclusive_table_blocks_everyone(self):
+        h = make()
+        assert h.exclusive_table(1, "t")
+        assert not h.read_record(2, "t", "r1", wait=False)
+        assert not h.read_table(3, "t", wait=False)
+
+    def test_six_reads_all_and_updates_some(self):
+        h = make()
+        assert h.read_table_with_updates(1, "t")
+        # the SIX holder itself can X individual records
+        assert h.locks.acquire(
+            1, record_lock("t", "r1"), LockMode.X, wait=False
+        )
+        # other readers of specific records (IS) still get through
+        assert h.locks.acquire(
+            2, table_lock("t"), LockMode.IS, wait=False
+        )
+        # but another table reader (S) does not
+        assert not h.read_table(3, "t", wait=False)
+
+    def test_intention_alone_blocks_nobody_at_record_level(self):
+        h = make()
+        assert h.write_record(1, "t", "r1")
+        assert h.read_record(2, "t", "r2", wait=False)
+        assert h.write_record(3, "t", "r3", wait=False)
+
+
+class TestEscalation:
+    def test_escalation_subsumes_record_locks(self):
+        h = make()
+        for i in range(10):
+            assert h.write_record(1, "t", f"r{i}")
+        assert h.escalate_to_table(1, "t")
+        # record locks traded away, table X held
+        assert h.locks.held_mode(1, table_lock("t")) == LockMode.X
+        for i in range(10):
+            assert h.locks.held_mode(1, record_lock("t", f"r{i}")) is None
+
+    def test_escalation_blocked_by_other_intenders(self):
+        h = make()
+        assert h.write_record(1, "t", "r1")
+        assert h.read_record(2, "t", "r2")
+        assert not h.escalate_to_table(1, "t", wait=False)
+
+    def test_escalation_waits_out_other_readers(self):
+        h = make()
+        assert h.write_record(1, "t", "r1")
+        assert h.read_record(2, "t", "r2")
+        done = threading.Event()
+
+        def escalate():
+            assert h.escalate_to_table(1, "t")
+            done.set()
+
+        t = threading.Thread(target=escalate)
+        t.start()
+        t.join(0.2)
+        assert not done.is_set()
+        h.release_all(2)
+        assert done.wait(5.0)
+        t.join()
+
+    def test_release_all(self):
+        h = make()
+        h.write_record(1, "t", "r1")
+        h.release_all(1)
+        assert h.locks.locks_of(1) == set()

@@ -1,0 +1,96 @@
+"""Unit tests for the lock-mode compatibility and supremum tables."""
+
+import pytest
+
+from repro.lock.modes import (
+    LockMode,
+    compatible,
+    stronger_or_equal,
+    supremum,
+)
+
+S, X, IS, IX, SIX = (
+    LockMode.S,
+    LockMode.X,
+    LockMode.IS,
+    LockMode.IX,
+    LockMode.SIX,
+)
+
+
+class TestCompatibility:
+    @pytest.mark.parametrize(
+        "held,requested,expected",
+        [
+            (S, S, True),
+            (S, X, False),
+            (X, S, False),
+            (X, X, False),
+            (IS, IS, True),
+            (IS, IX, True),
+            (IS, S, True),
+            (IS, SIX, True),
+            (IS, X, False),
+            (IX, IX, True),
+            (IX, S, False),
+            (IX, SIX, False),
+            (S, IS, True),
+            (S, IX, False),
+            (SIX, IS, True),
+            (SIX, IX, False),
+            (SIX, S, False),
+            (SIX, SIX, False),
+            (X, IS, False),
+        ],
+    )
+    def test_matrix(self, held, requested, expected):
+        assert compatible(held, requested) is expected
+
+    def test_x_conflicts_with_everything(self):
+        for mode in LockMode:
+            assert not compatible(X, mode)
+            assert not compatible(mode, X)
+
+
+class TestSupremum:
+    def test_supremum_is_commutative(self):
+        for a in LockMode:
+            for b in LockMode:
+                assert supremum(a, b) == supremum(b, a)
+
+    def test_supremum_idempotent(self):
+        for a in LockMode:
+            assert supremum(a, a) == a
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (S, IX, SIX),
+            (IS, IX, IX),
+            (IS, S, S),
+            (S, X, X),
+            (SIX, IX, SIX),
+            (SIX, S, SIX),
+            (IS, X, X),
+        ],
+    )
+    def test_known_suprema(self, a, b, expected):
+        assert supremum(a, b) == expected
+
+    def test_supremum_upper_bounds_both(self):
+        # the supremum must be >= both inputs under the subsumption order
+        for a in LockMode:
+            for b in LockMode:
+                sup = supremum(a, b)
+                assert stronger_or_equal(sup, a)
+                assert stronger_or_equal(sup, b)
+
+
+class TestSubsumption:
+    def test_x_subsumes_all(self):
+        for mode in LockMode:
+            assert stronger_or_equal(X, mode)
+
+    def test_s_subsumes_is_not_ix(self):
+        assert stronger_or_equal(S, IS)
+        assert not stronger_or_equal(S, IX)

@@ -1,0 +1,98 @@
+"""Property-based tests of the B-tree extension's interval algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ext.btree import BTreeExtension, Interval, as_interval
+
+ext = BTreeExtension()
+
+values = st.integers(min_value=-10_000, max_value=10_000)
+
+
+@st.composite
+def intervals(draw):
+    a = draw(values)
+    b = draw(values)
+    lo, hi = min(a, b), max(a, b)
+    if lo == hi:
+        # point intervals must be closed (open bounds would denote the
+        # empty set, which Interval rejects)
+        return Interval(lo, hi)
+    return Interval(
+        lo, hi, draw(st.booleans()), draw(st.booleans())
+    )
+
+
+class TestIntervalAlgebra:
+    @given(intervals(), intervals())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(intervals())
+    def test_self_intersection(self, iv):
+        if iv.lo != iv.hi or (iv.lo_incl and iv.hi_incl):
+            assert iv.intersects(iv)
+
+    @given(intervals(), intervals())
+    def test_union_commutative(self, a, b):
+        assert a.union_with(b) == b.union_with(a)
+
+    @given(intervals(), intervals(), intervals())
+    def test_union_associative(self, a, b, c):
+        assert a.union_with(b).union_with(c) == a.union_with(
+            b.union_with(c)
+        )
+
+    @given(intervals(), intervals(), values)
+    def test_union_upper_bounds_membership(self, a, b, x):
+        if a.contains(x) or b.contains(x):
+            assert a.union_with(b).contains(x)
+
+    @given(intervals(), values)
+    def test_contains_implies_intersects_point(self, iv, x):
+        if iv.contains(x):
+            assert iv.intersects(Interval.point(x))
+
+
+class TestExtensionProperties:
+    @given(st.lists(values, min_size=1, max_size=30))
+    def test_union_contains_all_inputs(self, keys):
+        u = ext.union(keys)
+        for key in keys:
+            assert ext.covers(u, key)
+
+    @given(st.lists(values, min_size=1, max_size=30), values)
+    def test_penalty_zero_iff_covered(self, keys, probe):
+        bp = ext.union(keys)
+        covered = as_interval(bp).contains(probe)
+        assert (ext.penalty(bp, probe) == 0.0) == covered
+
+    @given(st.lists(values, min_size=2, max_size=40))
+    def test_pick_split_is_partition(self, keys):
+        left, right = ext.pick_split(keys)
+        assert sorted(left + right) == list(range(len(keys)))
+        assert left and right
+
+    @given(st.lists(values, min_size=2, max_size=40))
+    def test_pick_split_halves_cover_their_keys(self, keys):
+        left, right = ext.pick_split(keys)
+        for idx_set in (left, right):
+            bp = ext.union([keys[i] for i in idx_set])
+            for i in idx_set:
+                assert ext.covers(bp, keys[i])
+
+    @given(values)
+    def test_eq_query_is_exact(self, key):
+        eq = ext.eq_query(key)
+        assert ext.consistent(key, eq)
+        assert not ext.consistent(key + 1, eq)
+
+    @given(st.lists(values, min_size=1, max_size=20), values)
+    def test_consistency_never_false_negative(self, keys, probe):
+        """The navigation soundness property: if a key satisfies a
+        query, the union of any set containing it must be consistent
+        with the query."""
+        keys = keys + [probe]
+        bp = ext.union(keys)
+        assert ext.consistent(bp, ext.eq_query(probe))

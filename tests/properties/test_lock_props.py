@@ -1,0 +1,126 @@
+"""Property-based tests of the lock manager's safety invariants."""
+
+import threading
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TransactionAbort
+from repro.lock.manager import LockManager
+from repro.lock.modes import LockMode, compatible
+
+owners = st.integers(min_value=1, max_value=6)
+names = st.sampled_from(["a", "b", "c"])
+modes = st.sampled_from([LockMode.S, LockMode.X])
+
+relaxed = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# a script is a list of (owner, action, name, mode)
+actions = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("acquire"), owners, names, modes
+        ),
+        st.tuples(st.just("release"), owners, names, modes),
+        st.tuples(st.just("release_all"), owners, names, modes),
+    ),
+    max_size=40,
+)
+
+
+def granted_invariant(lm: LockManager) -> list[str]:
+    """No two granted holders of one name may be incompatible."""
+    violations = []
+    for name in ("a", "b", "c"):
+        holders = list(lm.holders(name).items())
+        for i, (owner_a, mode_a) in enumerate(holders):
+            for owner_b, mode_b in holders[i + 1 :]:
+                if not compatible(mode_a, mode_b) and not compatible(
+                    mode_b, mode_a
+                ):
+                    violations.append(
+                        f"{name}: {owner_a}:{mode_a} with "
+                        f"{owner_b}:{mode_b}"
+                    )
+    return violations
+
+
+class TestLockManagerSafety:
+    @relaxed
+    @given(actions)
+    def test_no_incompatible_grants_sequential(self, script):
+        lm = LockManager(default_timeout=0.2)
+        for kind, owner, name, mode in script:
+            try:
+                if kind == "acquire":
+                    lm.acquire(owner, name, mode, wait=False)
+                elif kind == "release":
+                    lm.release(owner, name)
+                else:
+                    lm.release_all(owner)
+            except TransactionAbort:
+                lm.release_all(owner)
+            assert granted_invariant(lm) == []
+
+    @relaxed
+    @given(st.lists(st.tuples(owners, names, modes), max_size=20))
+    def test_release_all_clears_everything(self, grants):
+        lm = LockManager(default_timeout=0.2)
+        for owner, name, mode in grants:
+            lm.acquire(owner, name, mode, wait=False)
+        for owner in range(1, 7):
+            lm.release_all(owner)
+        for name in ("a", "b", "c"):
+            assert lm.holders(name) == {}
+        for owner in range(1, 7):
+            assert lm.locks_of(owner) == set()
+
+    @relaxed
+    @given(st.lists(st.tuples(owners, names), min_size=1, max_size=20))
+    def test_counts_balance(self, pairs):
+        """N acquires need exactly N releases."""
+        lm = LockManager(default_timeout=0.2)
+        counts: dict = {}
+        for owner, name in pairs:
+            if lm.acquire(owner, name, LockMode.S, wait=False):
+                counts[(owner, name)] = counts.get((owner, name), 0) + 1
+        for (owner, name), n in counts.items():
+            for i in range(n):
+                assert lm.held_mode(owner, name) is not None
+                lm.release(owner, name)
+            assert lm.held_mode(owner, name) is None
+
+
+class TestConcurrentSafety:
+    def test_hammer_no_incompatible_grants(self):
+        lm = LockManager(default_timeout=5.0)
+        stop = threading.Event()
+        errors = []
+
+        def worker(owner: int):
+            import random
+
+            rng = random.Random(owner)
+            while not stop.is_set():
+                name = rng.choice(["a", "b", "c"])
+                mode = rng.choice([LockMode.S, LockMode.X])
+                if lm.acquire(owner, name, mode, wait=False):
+                    bad = granted_invariant(lm)
+                    if bad:
+                        errors.extend(bad)
+                    lm.release(owner, name)
+
+        threads = [
+            threading.Thread(target=worker, args=(o,)) for o in range(1, 7)
+        ]
+        for t in threads:
+            t.start()
+        stop.wait(1.0)
+        stop.set()
+        for t in threads:
+            t.join(10.0)
+        assert errors == []

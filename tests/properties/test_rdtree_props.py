@@ -1,0 +1,62 @@
+"""Property-based tests of the RD-tree set algebra."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ext.rdtree import RDTreeExtension, as_key_set
+
+ext = RDTreeExtension()
+
+elements = st.integers(min_value=0, max_value=50)
+key_sets = st.frozensets(elements, min_size=1, max_size=8)
+
+
+class TestSetAlgebra:
+    @given(key_sets, key_sets)
+    def test_consistent_symmetric(self, a, b):
+        assert ext.consistent(a, b) == ext.consistent(b, a)
+
+    @given(key_sets)
+    def test_self_consistent(self, s):
+        assert ext.consistent(s, s)
+
+    @given(st.lists(key_sets, min_size=1, max_size=15))
+    def test_union_covers_all(self, sets):
+        u = ext.union(sets)
+        for s in sets:
+            assert s <= u
+            assert ext.covers(u, s)
+
+    @given(key_sets, key_sets)
+    def test_penalty_nonnegative_and_zero_iff_subset(self, bp, key):
+        penalty = ext.penalty(bp, key)
+        assert penalty >= 0
+        assert (penalty == 0) == (key <= bp)
+
+    @given(st.lists(key_sets, min_size=2, max_size=20))
+    def test_pick_split_partition(self, sets):
+        left, right = ext.pick_split(sets)
+        assert sorted(left + right) == list(range(len(sets)))
+        assert left and right
+
+    @given(st.lists(key_sets, min_size=2, max_size=20))
+    def test_pick_split_sides_cover_members(self, sets):
+        left, right = ext.pick_split(sets)
+        for side in (left, right):
+            bp = ext.union([sets[i] for i in side])
+            for i in side:
+                assert ext.covers(bp, sets[i])
+
+    @given(key_sets)
+    def test_navigation_soundness(self, key):
+        """A BP containing the key must be consistent with the key's
+        equality query — search can never miss a stored key."""
+        eq = ext.eq_query(key)
+        bp = ext.union([key, frozenset({999})])
+        assert ext.consistent(bp, eq)
+
+    @given(st.lists(key_sets, min_size=1, max_size=10), key_sets)
+    def test_union_monotone(self, sets, extra):
+        u1 = as_key_set(ext.union(sets))
+        u2 = as_key_set(ext.union(sets + [extra]))
+        assert u1 <= u2

@@ -1,0 +1,79 @@
+"""Property-based tests of the R-tree extension's rectangle algebra."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ext.rtree import Rect, RTreeExtension
+
+ext = RTreeExtension()
+
+coords = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = draw(coords), draw(coords)
+    y1, y2 = draw(coords), draw(coords)
+    return Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+
+
+class TestRectAlgebra:
+    @given(rects(), rects())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(rects())
+    def test_self_intersects(self, r):
+        assert r.intersects(r)
+
+    @given(rects(), rects())
+    def test_union_commutative(self, a, b):
+        assert a.union_with(b) == b.union_with(a)
+
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union_with(b)
+        assert u.contains(a) and u.contains(b)
+
+    @given(rects(), rects())
+    def test_union_area_superadditive_on_each(self, a, b):
+        u = a.union_with(b)
+        assert u.area >= a.area and u.area >= b.area
+
+    @given(rects(), rects())
+    def test_contains_implies_intersects(self, a, b):
+        if a.contains(b):
+            assert a.intersects(b)
+
+    @given(rects(), rects())
+    def test_penalty_nonnegative(self, bp, key):
+        assert ext.penalty(bp, key) >= 0.0
+
+    @given(rects(), rects())
+    def test_containment_implies_zero_penalty(self, bp, key):
+        # (the converse is false for degenerate zero-area rectangles:
+        # Guttman's area penalty cannot see growth along a line)
+        if bp.contains(key):
+            assert ext.penalty(bp, key) == 0.0
+
+
+class TestRTreeExtensionProperties:
+    @given(st.lists(rects(), min_size=1, max_size=25))
+    def test_union_covers_all(self, items):
+        u = ext.union(items)
+        for r in items:
+            assert u.contains(r)
+
+    @given(st.lists(rects(), min_size=2, max_size=25))
+    def test_pick_split_partition(self, items):
+        left, right = ext.pick_split(items)
+        assert sorted(left + right) == list(range(len(items)))
+        assert left and right
+
+    @given(st.lists(rects(), min_size=6, max_size=25))
+    def test_pick_split_not_degenerate(self, items):
+        left, right = ext.pick_split(items)
+        min_fill = max(1, len(items) // 3)
+        assert len(left) >= min_fill and len(right) >= min_fill

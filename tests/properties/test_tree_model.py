@@ -1,0 +1,133 @@
+"""Model-based property tests: the GiST against a dictionary oracle.
+
+Random operation sequences run against both a plain dict and the full
+transactional GiST; after every sequence the tree must (a) answer range
+queries exactly like the oracle, (b) pass the structural invariant
+check, and (c) — in the crash variant — recover to the committed oracle
+state from any prefix of flushes.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.database import Database
+from repro.errors import KeyNotFoundError
+from repro.ext.btree import BTreeExtension, Interval
+from repro.gist.checker import check_tree
+
+keys = st.integers(min_value=0, max_value=200)
+
+# op encoding: ("insert", key) | ("delete", index-into-live) | ("query",
+# lo, width) — deletes refer to a live entry by index so every generated
+# sequence is executable.
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), keys),
+        st.tuples(st.just("delete"), st.integers(0, 10_000)),
+        st.tuples(st.just("query"), keys, st.integers(0, 50)),
+    ),
+    max_size=80,
+)
+
+relaxed = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def run_sequence(db, tree, txn, sequence, oracle, counter):
+    """Apply an op sequence to both tree and oracle."""
+    for op in sequence:
+        if op[0] == "insert":
+            counter[0] += 1
+            rid = f"r{counter[0]}"
+            tree.insert(txn, op[1], rid)
+            oracle[rid] = op[1]
+        elif op[0] == "delete":
+            if not oracle:
+                continue
+            rid = sorted(oracle)[op[1] % len(oracle)]
+            tree.delete(txn, oracle[rid], rid)
+            del oracle[rid]
+        else:
+            lo, width = op[1], op[2]
+            found = {
+                rid
+                for _, rid in tree.search(txn, Interval(lo, lo + width))
+            }
+            expected = {
+                rid
+                for rid, key in oracle.items()
+                if lo <= key <= lo + width
+            }
+            assert found == expected
+
+
+class TestTreeMatchesOracle:
+    @relaxed
+    @given(ops)
+    def test_single_transaction_model(self, sequence):
+        db = Database(page_capacity=4)
+        tree = db.create_tree("m", BTreeExtension())
+        oracle: dict[str, int] = {}
+        counter = [0]
+        txn = db.begin()
+        run_sequence(db, tree, txn, sequence, oracle, counter)
+        db.commit(txn)
+        check = db.begin()
+        found = {
+            rid for _, rid in tree.search(check, Interval(0, 400))
+        }
+        db.commit(check)
+        assert found == set(oracle)
+        report = check_tree(tree)
+        assert report.ok, report.errors
+
+    @relaxed
+    @given(ops, ops)
+    def test_rollback_restores_first_state(self, committed, rolled_back):
+        db = Database(page_capacity=4)
+        tree = db.create_tree("m", BTreeExtension())
+        oracle: dict[str, int] = {}
+        counter = [0]
+        txn = db.begin()
+        run_sequence(db, tree, txn, committed, oracle, counter)
+        db.commit(txn)
+        txn = db.begin()
+        scratch = dict(oracle)
+        run_sequence(db, tree, txn, rolled_back, scratch, counter)
+        db.rollback(txn)
+        check = db.begin()
+        found = {
+            rid for _, rid in tree.search(check, Interval(0, 400))
+        }
+        db.commit(check)
+        assert found == set(oracle)
+        assert check_tree(tree).ok
+
+    @relaxed
+    @given(ops, st.booleans())
+    def test_crash_recovers_committed_state(self, sequence, flush):
+        db = Database(page_capacity=4)
+        tree = db.create_tree("m", BTreeExtension())
+        oracle: dict[str, int] = {}
+        counter = [0]
+        txn = db.begin()
+        run_sequence(db, tree, txn, sequence, oracle, counter)
+        db.commit(txn)
+        if flush:
+            db.pool.flush_all()
+        db.crash()
+        db2 = db.restart({"m": BTreeExtension()})
+        tree2 = db2.tree("m")
+        check = db2.begin()
+        found = {
+            rid for _, rid in tree2.search(check, Interval(0, 400))
+        }
+        db2.commit(check)
+        assert found == set(oracle)
+        report = check_tree(tree2)
+        assert report.ok, report.errors

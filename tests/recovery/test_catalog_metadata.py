@@ -1,0 +1,90 @@
+"""Catalog metadata must survive restart: uniqueness, NSN source."""
+
+import pytest
+
+from repro.database import Database
+from repro.errors import UniqueViolationError
+from repro.ext.btree import BTreeExtension, Interval
+
+
+class TestUniqueFlagSurvives:
+    def test_unique_enforced_after_restart(self):
+        db = Database(page_capacity=8)
+        tree = db.create_tree("uq", BTreeExtension(), unique=True)
+        txn = db.begin()
+        tree.insert(txn, 5, "r5")
+        db.commit(txn)
+        db.crash()
+        db2 = db.restart({"uq": BTreeExtension()})
+        tree2 = db2.tree("uq")
+        assert tree2.unique
+        txn = db2.begin()
+        with pytest.raises(UniqueViolationError):
+            tree2.insert(txn, 5, "dup")
+        db2.rollback(txn)
+
+    def test_nsn_source_survives(self):
+        db = Database(page_capacity=8)
+        db.create_tree("l", BTreeExtension(), nsn_source="lsn")
+        db.create_tree("c", BTreeExtension(), nsn_source="counter")
+        db.crash()
+        db2 = db.restart(
+            {"l": BTreeExtension(), "c": BTreeExtension()}
+        )
+        assert db2.tree("l").nsn_source == "lsn"
+        assert db2.tree("c").nsn_source == "counter"
+
+    def test_counter_resumes_above_recovered_max(self):
+        db = Database(page_capacity=4)
+        tree = db.create_tree("c", BTreeExtension())
+        txn = db.begin()
+        for i in range(40):  # plenty of splits
+            tree.insert(txn, i, f"r{i}")
+        db.commit(txn)
+        high_water = tree.nsn.current()
+        assert high_water > 0
+        db.crash()
+        db2 = db.restart({"c": BTreeExtension()})
+        tree2 = db2.tree("c")
+        assert tree2.nsn.current() >= high_water
+        # new splits produce strictly larger NSNs: the detection
+        # protocol stays sound across the crash
+        txn = db2.begin()
+        for i in range(40, 60):
+            tree2.insert(txn, i, f"r{i}")
+        db2.commit(txn)
+        assert tree2.nsn.current() > high_water
+
+
+class TestUniqueAfterRecoveredDelete:
+    def test_reinsert_after_recovered_committed_delete(self):
+        db = Database(page_capacity=8)
+        tree = db.create_tree("uq", BTreeExtension(), unique=True)
+        txn = db.begin()
+        tree.insert(txn, 5, "r5")
+        db.commit(txn)
+        txn = db.begin()
+        tree.delete(txn, 5, "r5")
+        db.commit(txn)
+        db.crash()
+        db2 = db.restart({"uq": BTreeExtension()})
+        tree2 = db2.tree("uq")
+        txn = db2.begin()
+        tree2.insert(txn, 5, "r5-again")  # tombstone is committed: OK
+        db2.commit(txn)
+        check = db2.begin()
+        assert tree2.search(check, Interval(5, 5)) == [(5, "r5-again")]
+        db2.commit(check)
+
+    def test_uncommitted_unique_insert_lost_in_crash(self):
+        db = Database(page_capacity=8)
+        tree = db.create_tree("uq", BTreeExtension(), unique=True)
+        loser = db.begin()
+        tree.insert(loser, 5, "ghost")
+        db.log.flush()
+        db.crash()
+        db2 = db.restart({"uq": BTreeExtension()})
+        tree2 = db2.tree("uq")
+        txn = db2.begin()
+        tree2.insert(txn, 5, "real")  # the ghost must not block this
+        db2.commit(txn)

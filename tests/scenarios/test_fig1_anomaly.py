@@ -1,0 +1,139 @@
+"""Figure 1: a concurrent node split makes a naive traversal miss keys.
+
+The paper's motivating anomaly: a search reads the parent and stacks a
+pointer to leaf B; a concurrent insert splits B, moving some keys to a
+new right sibling whose downlink the search never saw; the search visits
+the stale B and reports an incomplete result — silently.
+
+We reproduce the interleaving deterministically with hooks: the searcher
+is frozen immediately after it has examined the parent (stacking its
+child pointers), the split runs to completion, the searcher resumes.
+The naive tree (no NSN/rightlink compensation) **must** lose keys; the
+link tree under the *identical* interleaving must not (that second half
+is asserted in test_fig2_nsn_detection.py).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.baselines.simpletree import LinkTree, NaiveTree
+from repro.ext.btree import BTreeExtension, Interval
+from repro.sync.hooks import Hooks, PredicateGate
+from repro.sync.latch import LatchMode
+
+
+def build_tree(cls):
+    hooks = Hooks()
+    tree = cls(BTreeExtension(), page_capacity=4, hooks=hooks)
+    for i in range(1, 13):
+        tree.insert(i, f"r{i}")
+    return tree, hooks
+
+
+def find_full_leaf(tree):
+    """A full, non-root leaf: (pid, key set)."""
+    pool = tree.pool
+    frontier = [tree.root_pid]
+    while frontier:
+        pid = frontier.pop()
+        with pool.fixed(pid, LatchMode.S) as frame:
+            page = frame.page
+            if page.is_leaf:
+                if page.is_full and pid != tree.root_pid:
+                    return pid, sorted(e.key for e in page.entries)
+            else:
+                frontier.extend(e.child for e in page.entries)
+    raise AssertionError("no full leaf found; adjust the preload")
+
+
+def find_parent(tree, child_pid):
+    pool = tree.pool
+    frontier = [tree.root_pid]
+    while frontier:
+        pid = frontier.pop()
+        with pool.fixed(pid, LatchMode.S) as frame:
+            page = frame.page
+            if page.is_internal:
+                if page.find_child_entry(child_pid) is not None:
+                    return pid
+                frontier.extend(e.child for e in page.entries)
+    raise AssertionError(f"no parent for {child_pid}")
+
+
+def run_interleaving(cls):
+    """Search paused right after it has read the target leaf's parent
+    entry (the pointer to leaf B is stacked, Figure 1's top panel); the
+    split of B runs in between; the search resumes (bottom panel).
+    Returns (expected keys, found keys, moved-away keys)."""
+    tree, hooks = build_tree(cls)
+    leaf_pid, keys = find_full_leaf(tree)
+    parent_pid = find_parent(tree, leaf_pid)
+    lo, hi = keys[0], keys[-1]
+    query = Interval(lo, hi)
+
+    # freeze the searcher the moment it finishes examining the parent —
+    # the stale pointer to the leaf is now on its stack
+    gate = PredicateGate(lambda pid=None, **_: pid == parent_pid)
+    hooks.on("search:node-visited", gate.block)
+    result: list = []
+    searcher = threading.Thread(
+        target=lambda: result.extend(tree.search(query))
+    )
+    searcher.start()
+    assert gate.wait_blocked(5.0)
+
+    # The racing insert: a key inside the full leaf's range forces the
+    # split of exactly that leaf.
+    hooks.remove("search:node-visited", gate.block)
+    splits_before = tree.stats.splits
+    tree.insert(lo + 0.5, "racer")
+    assert tree.stats.splits == splits_before + 1
+
+    # some of the original keys must have moved off the stale leaf
+    with tree.pool.fixed(leaf_pid, LatchMode.S) as frame:
+        still_there = {e.key for e in frame.page.entries}
+    moved = [k for k in keys if k not in still_there]
+    assert moved, "split did not move any target keys; scenario broken"
+
+    gate.open()
+    searcher.join(10.0)
+    assert not searcher.is_alive()
+    # ground truth: every key in the whole tree that the query covers
+    # (GiST leaves may overlap in key range, so other leaves contribute)
+    expected = {
+        k for k, _ in tree.contents() if lo <= k <= hi
+    }
+    found = {k for k, _ in result}
+    return expected, found, set(moved) | {lo + 0.5}
+
+
+class TestFigure1:
+    def test_naive_tree_misses_moved_keys(self):
+        expected, found, moved = run_interleaving(NaiveTree)
+        assert found != expected, (
+            "the naive tree accidentally saw the split; "
+            "the anomaly scenario must reproduce Figure 1"
+        )
+        missing = expected - found
+        assert missing and missing <= moved, (
+            f"the missing keys {missing} should be among the keys the "
+            f"split moved away ({moved})"
+        )
+
+    def test_naive_tree_result_is_silent_subset(self):
+        expected, found, _ = run_interleaving(NaiveTree)
+        # the dangerous part: the result is a *plausible* subset — no
+        # error, just silently incomplete
+        assert found < expected
+
+    def test_link_tree_immune_under_identical_interleaving(self):
+        expected, found, _ = run_interleaving(LinkTree)
+        assert found == expected
+
+    def test_quiesced_naive_tree_is_complete(self):
+        """Without the race the naive tree is correct — the anomaly is
+        purely an interleaving effect."""
+        tree, _ = build_tree(NaiveTree)
+        found = {k for k, _ in tree.search(Interval(1, 12))}
+        assert found == set(range(1, 13))

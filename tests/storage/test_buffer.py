@@ -1,0 +1,189 @@
+"""Unit tests for the buffer pool: pinning, eviction, WAL rule, crash."""
+
+import threading
+
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import PageStore
+from repro.storage.page import LeafEntry, PageKind
+from repro.sync.latch import LatchMode
+
+
+def make_pool(capacity=4, io_delay=0.0, wal_flush=None):
+    store = PageStore(io_delay=io_delay)
+    return store, BufferPool(store, capacity=capacity, wal_flush=wal_flush)
+
+
+class TestPinning:
+    def test_new_frame_is_pinned_once(self):
+        _, pool = make_pool()
+        frame = pool.new_frame(PageKind.LEAF)
+        assert frame.pin_count == 1
+        pool.unpin(frame.page.pid)
+        assert frame.pin_count == 0
+
+    def test_unpin_unpinned_raises(self):
+        _, pool = make_pool()
+        frame = pool.new_frame(PageKind.LEAF)
+        pool.unpin(frame.page.pid)
+        with pytest.raises(BufferPoolError):
+            pool.unpin(frame.page.pid)
+
+    def test_pin_miss_reads_from_disk(self):
+        store, pool = make_pool()
+        frame = pool.new_frame(PageKind.LEAF)
+        pid = frame.page.pid
+        frame.page.add_entry(LeafEntry(1, "r1"))
+        frame.mark_dirty(5)
+        pool.unpin(pid)
+        pool.flush_page(pid)
+        pool.drop(pid)
+        assert not pool.resident(pid)
+        frame2 = pool.pin(pid)
+        assert frame2.page.entries[0].rid == "r1"
+        assert pool.misses == 1
+
+    def test_pin_hit_counts(self):
+        _, pool = make_pool()
+        frame = pool.new_frame(PageKind.LEAF)
+        pool.pin(frame.page.pid)
+        assert pool.hits == 1
+        assert frame.pin_count == 2
+
+
+class TestEviction:
+    def test_evicts_unpinned_lru(self):
+        store, pool = make_pool(capacity=2)
+        f1 = pool.new_frame(PageKind.LEAF)
+        pool.unpin(f1.page.pid)
+        f2 = pool.new_frame(PageKind.LEAF)
+        pool.unpin(f2.page.pid)
+        pool.new_frame(PageKind.LEAF)  # must evict f1 (oldest unpinned)
+        assert not pool.resident(f1.page.pid)
+        assert pool.resident(f2.page.pid)
+        assert pool.evictions == 1
+
+    def test_dirty_eviction_writes_back(self):
+        store, pool = make_pool(capacity=1)
+        f1 = pool.new_frame(PageKind.LEAF)
+        f1.page.add_entry(LeafEntry(1, "r1"))
+        f1.mark_dirty(3)
+        pool.unpin(f1.page.pid)
+        pool.new_frame(PageKind.LEAF)  # evicts + flushes f1
+        assert store.exists(f1.page.pid)
+        assert store.read(f1.page.pid).entries[0].rid == "r1"
+
+    def test_all_pinned_raises(self):
+        _, pool = make_pool(capacity=1)
+        pool.new_frame(PageKind.LEAF)  # stays pinned
+        with pytest.raises(BufferPoolError):
+            pool.new_frame(PageKind.LEAF)
+
+    def test_latched_frames_not_evicted(self):
+        _, pool = make_pool(capacity=2)
+        f1 = pool.new_frame(PageKind.LEAF)
+        f1.latch.acquire(LatchMode.S)
+        pool.unpin(f1.page.pid)  # unpinned but latched
+        f2 = pool.new_frame(PageKind.LEAF)
+        pool.unpin(f2.page.pid)
+        pool.new_frame(PageKind.LEAF)  # must pick f2, not latched f1
+        assert pool.resident(f1.page.pid)
+        assert not pool.resident(f2.page.pid)
+        f1.latch.release()
+
+
+class TestWALRule:
+    def test_flush_forces_log_first(self):
+        flushed = []
+        store = PageStore()
+        pool = BufferPool(store, capacity=4, wal_flush=flushed.append)
+        frame = pool.new_frame(PageKind.LEAF)
+        frame.mark_dirty(17)
+        pool.flush_page(frame.page.pid)
+        assert flushed == [17]
+        assert store.read(frame.page.pid).page_lsn == 17
+
+    def test_eviction_respects_wal(self):
+        flushed = []
+        store = PageStore()
+        pool = BufferPool(store, capacity=1, wal_flush=flushed.append)
+        f1 = pool.new_frame(PageKind.LEAF)
+        f1.mark_dirty(9)
+        pool.unpin(f1.page.pid)
+        pool.new_frame(PageKind.LEAF)
+        assert flushed == [9]
+
+    def test_rec_lsn_is_first_dirtier(self):
+        _, pool = make_pool()
+        frame = pool.new_frame(PageKind.LEAF)
+        frame.mark_dirty(5)
+        frame.mark_dirty(9)
+        assert frame.rec_lsn == 5
+        assert frame.page.page_lsn == 9
+        assert pool.dirty_page_table() == {frame.page.pid: 5}
+
+
+class TestFixUnfix:
+    def test_fixed_context_manager(self):
+        _, pool = make_pool()
+        frame = pool.new_frame(PageKind.LEAF)
+        pid = frame.page.pid
+        pool.unpin(pid)
+        with pool.fixed(pid, LatchMode.X) as fixed:
+            assert fixed.latch.held_by_me() == LatchMode.X
+            assert fixed.pin_count == 1
+        assert frame.latch.held_by_me() is None
+        assert frame.pin_count == 0
+
+
+class TestCrash:
+    def test_crash_loses_unflushed_state(self):
+        store, pool = make_pool()
+        frame = pool.new_frame(PageKind.LEAF)
+        frame.page.add_entry(LeafEntry(1, "r1"))
+        frame.mark_dirty(2)
+        pid = frame.page.pid
+        pool.crash()
+        assert not pool.resident(pid)
+        assert not store.exists(pid)  # never flushed: gone
+
+    def test_crash_keeps_flushed_state(self):
+        store, pool = make_pool()
+        frame = pool.new_frame(PageKind.LEAF)
+        frame.page.add_entry(LeafEntry(1, "r1"))
+        frame.mark_dirty(2)
+        pid = frame.page.pid
+        pool.flush_page(pid)
+        frame2 = pool.pin(pid)  # still resident
+        frame2.page.add_entry(LeafEntry(2, "r2"))
+        frame2.mark_dirty(3)
+        pool.crash()
+        assert store.read(pid).page_lsn == 2
+        assert len(store.read(pid).entries) == 1
+
+
+class TestConcurrentPin:
+    def test_concurrent_miss_coalesces(self):
+        store, pool = make_pool(capacity=8, io_delay=0.01)
+        frame = pool.new_frame(PageKind.LEAF)
+        pid = frame.page.pid
+        frame.mark_dirty(1)
+        pool.unpin(pid)
+        pool.flush_page(pid)
+        pool.drop(pid)
+        results = []
+
+        def pinner():
+            f = pool.pin(pid)
+            results.append(f)
+            pool.unpin(pid)
+
+        threads = [threading.Thread(target=pinner) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(f) for f in results}) == 1  # one shared frame
+        assert store.stats.snapshot()["reads"] == 1

@@ -1,0 +1,102 @@
+"""Unit tests for the simulated disk (page store)."""
+
+import time
+
+import pytest
+
+from repro.errors import PageNotFoundError
+from repro.storage.disk import PageStore
+from repro.storage.page import LeafEntry, Page, PageKind
+
+
+class TestAllocation:
+    def test_allocate_monotonic_then_reuses_freed(self):
+        store = PageStore()
+        a = store.allocate()
+        b = store.allocate()
+        assert b == a + 1
+        store.free(a)
+        c = store.allocate()
+        assert c == a  # freed pages are reused — the drain hazard
+
+    def test_is_allocated(self):
+        store = PageStore()
+        pid = store.allocate()
+        assert store.is_allocated(pid)
+        store.free(pid)
+        assert not store.is_allocated(pid)
+
+    def test_mark_allocated_advances_counter(self):
+        store = PageStore()
+        store.mark_allocated(10)
+        assert store.is_allocated(10)
+        assert store.allocate() == 11
+
+    def test_mark_free_then_reuse(self):
+        store = PageStore()
+        pid = store.allocate()
+        store.mark_free(pid)
+        assert not store.is_allocated(pid)
+        assert pid in store.allocated_pids() or store.allocate() == pid
+
+
+class TestReadWrite:
+    def test_write_then_read_roundtrip(self):
+        store = PageStore()
+        page = store.new_page(PageKind.LEAF)
+        page.add_entry(LeafEntry(1, "r1"))
+        store.write(page)
+        back = store.read(page.pid)
+        assert back.pid == page.pid
+        assert back.entries[0].rid == "r1"
+
+    def test_read_returns_independent_snapshot(self):
+        store = PageStore()
+        page = store.new_page(PageKind.LEAF)
+        page.add_entry(LeafEntry(1, "r1"))
+        store.write(page)
+        copy1 = store.read(page.pid)
+        copy1.entries.clear()
+        copy2 = store.read(page.pid)
+        assert len(copy2.entries) == 1
+
+    def test_write_snapshots_at_write_time(self):
+        store = PageStore()
+        page = store.new_page(PageKind.LEAF)
+        store.write(page)
+        page.add_entry(LeafEntry(1, "r1"))  # after the write
+        assert len(store.read(page.pid).entries) == 0
+
+    def test_read_missing_page_raises(self):
+        store = PageStore()
+        with pytest.raises(PageNotFoundError):
+            store.read(12345)
+
+    def test_exists(self):
+        store = PageStore()
+        page = store.new_page(PageKind.LEAF)
+        assert not store.exists(page.pid)
+        store.write(page)
+        assert store.exists(page.pid)
+
+
+class TestIOLatency:
+    def test_io_delay_is_paid(self):
+        store = PageStore(io_delay=0.02)
+        page = store.new_page(PageKind.LEAF)
+        start = time.perf_counter()
+        store.write(page)
+        store.read(page.pid)
+        elapsed = time.perf_counter() - start
+        assert elapsed >= 0.04
+
+    def test_stats_count_traffic(self):
+        store = PageStore()
+        page = store.new_page(PageKind.LEAF)
+        store.write(page)
+        store.write(page)
+        store.read(page.pid)
+        snap = store.stats.snapshot()
+        assert snap["writes"] == 2
+        assert snap["reads"] == 1
+        assert snap["allocations"] == 1

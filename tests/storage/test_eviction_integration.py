@@ -1,0 +1,116 @@
+"""The tree under buffer pressure: eviction + WAL + recovery together."""
+
+import threading
+
+from repro.database import Database
+from repro.errors import TransactionAbort
+from repro.ext.btree import BTreeExtension, Interval
+from repro.gist.checker import check_tree
+
+
+def tiny_pool_db(pool_capacity=24):
+    # A pool far smaller than the tree, so every operation churns
+    # frames.  Floor: a recursive split cascade latches ~2 frames per
+    # level plus the descent path, so the pool must hold a few dozen
+    # frames — the same sizing rule real SMO implementations live by.
+    return Database(
+        page_capacity=4, pool_capacity=pool_capacity, lock_timeout=15.0
+    )
+
+
+class TestTreeUnderBufferPressure:
+    def test_build_and_search_with_constant_eviction(self):
+        db = tiny_pool_db()
+        tree = db.create_tree("ev", BTreeExtension())
+        txn = db.begin()
+        for i in range(300):
+            tree.insert(txn, i, f"r{i}")
+        db.commit(txn)
+        assert db.pool.evictions > 0  # the pool really was too small
+        txn = db.begin()
+        assert len(tree.search(txn, Interval(0, 299))) == 300
+        db.commit(txn)
+        assert check_tree(tree).ok
+
+    def test_eviction_respects_wal_rule(self):
+        """Every page that reached disk must have its log prefix
+        durable: page_lsn <= flushed_lsn at all times."""
+        db = tiny_pool_db()
+        tree = db.create_tree("ev", BTreeExtension())
+        txn = db.begin()
+        for i in range(200):
+            tree.insert(txn, i, f"r{i}")
+        db.commit(txn)
+        for pid, page in db.store.disk_image().items():
+            assert page.page_lsn <= db.log.flushed_lsn, (
+                f"page {pid} on disk at lsn {page.page_lsn} but log "
+                f"only flushed to {db.log.flushed_lsn}"
+            )
+
+    def test_crash_after_eviction_heavy_run_recovers(self):
+        db = tiny_pool_db()
+        tree = db.create_tree("ev", BTreeExtension())
+        txn = db.begin()
+        for i in range(250):
+            tree.insert(txn, i, f"r{i}")
+        db.commit(txn)
+        loser = db.begin()
+        for i in range(250, 270):
+            tree.insert(loser, i, f"l{i}")
+        db.log.flush()
+        db.crash()
+        db2 = db.restart(
+            {"ev": BTreeExtension()}, pool_capacity=24
+        )
+        tree2 = db2.tree("ev")
+        txn = db2.begin()
+        found = {r for _, r in tree2.search(txn, Interval(0, 400))}
+        db2.commit(txn)
+        assert found == {f"r{i}" for i in range(250)}
+        assert check_tree(tree2).ok
+
+    def test_concurrent_workers_with_tiny_pool(self):
+        db = tiny_pool_db(pool_capacity=32)
+        tree = db.create_tree("ev", BTreeExtension())
+        errors = []
+
+        def worker(wid):
+            try:
+                for i in range(60):
+                    txn = db.begin()
+                    try:
+                        tree.insert(txn, wid * 1000 + i, f"{wid}-{i}")
+                        db.commit(txn)
+                    except TransactionAbort:
+                        db.rollback(txn)
+            except Exception as exc:  # pragma: no cover
+                errors.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120.0)
+        assert errors == []
+        assert check_tree(tree).ok
+
+    def test_vacuum_under_buffer_pressure(self):
+        from repro.gist.maintenance import vacuum
+
+        db = tiny_pool_db()
+        tree = db.create_tree("ev", BTreeExtension())
+        txn = db.begin()
+        for i in range(150):
+            tree.insert(txn, i, f"r{i}")
+        db.commit(txn)
+        txn = db.begin()
+        for i in range(150):
+            tree.delete(txn, i, f"r{i}")
+        db.commit(txn)
+        txn = db.begin()
+        report = vacuum(tree, txn)
+        db.commit(txn)
+        assert report.nodes_deleted > 0
+        assert check_tree(tree).ok

@@ -1,0 +1,98 @@
+"""Unit tests for the page model."""
+
+import pytest
+
+from repro.errors import PageOverflowError
+from repro.storage.page import (
+    NO_PAGE,
+    InternalEntry,
+    LeafEntry,
+    Page,
+    PageKind,
+)
+
+
+def make_leaf(capacity: int = 4) -> Page:
+    return Page(pid=1, kind=PageKind.LEAF, capacity=capacity)
+
+
+class TestPageBasics:
+    def test_new_leaf_is_empty(self):
+        page = make_leaf()
+        assert len(page) == 0
+        assert page.is_leaf and not page.is_internal
+        assert not page.is_full
+        assert page.rightlink == NO_PAGE
+
+    def test_add_entry_and_len(self):
+        page = make_leaf()
+        page.add_entry(LeafEntry(1, "r1"))
+        page.add_entry(LeafEntry(2, "r2"))
+        assert len(page) == 2
+        assert page.free_slots == 2
+
+    def test_overflow_raises(self):
+        page = make_leaf(capacity=2)
+        page.add_entry(LeafEntry(1, "r1"))
+        page.add_entry(LeafEntry(2, "r2"))
+        assert page.is_full
+        with pytest.raises(PageOverflowError):
+            page.add_entry(LeafEntry(3, "r3"))
+
+    def test_find_leaf_entry_matches_key_and_rid(self):
+        page = make_leaf()
+        page.add_entry(LeafEntry(1, "r1"))
+        page.add_entry(LeafEntry(1, "r2"))
+        entry = page.find_leaf_entry(1, "r2")
+        assert entry is not None and entry.rid == "r2"
+        assert page.find_leaf_entry(1, "r3") is None
+        assert page.find_leaf_entry(2, "r1") is None
+
+    def test_live_entries_skips_deleted(self):
+        page = make_leaf()
+        page.add_entry(LeafEntry(1, "r1"))
+        page.add_entry(LeafEntry(2, "r2", deleted=True, delete_xid=9))
+        assert [e.rid for e in page.live_entries()] == ["r1"]
+
+    def test_remove_leaf_entries_by_rid(self):
+        page = make_leaf()
+        for i in range(4):
+            page.add_entry(LeafEntry(i, f"r{i}"))
+        removed = page.remove_leaf_entries({"r1", "r3"})
+        assert sorted(e.rid for e in removed) == ["r1", "r3"]
+        assert sorted(e.rid for e in page.entries) == ["r0", "r2"]
+
+
+class TestInternalEntries:
+    def test_find_and_remove_child_entry(self):
+        page = Page(pid=2, kind=PageKind.INTERNAL, level=1)
+        page.add_entry(InternalEntry("p1", 10))
+        page.add_entry(InternalEntry("p2", 11))
+        assert page.find_child_entry(11).pred == "p2"
+        removed = page.remove_child_entry(10)
+        assert removed.child == 10
+        assert page.find_child_entry(10) is None
+        assert page.remove_child_entry(99) is None
+
+
+class TestSnapshot:
+    def test_snapshot_is_deep(self):
+        page = make_leaf()
+        page.add_entry(LeafEntry([1, 2], "r1"))
+        page.bp = [0, 5]
+        clone = page.snapshot()
+        clone.entries[0].key.append(3)
+        clone.bp.append(9)
+        clone.nsn = 99
+        assert page.entries[0].key == [1, 2]
+        assert page.bp == [0, 5]
+        assert page.nsn == 0
+
+    def test_snapshot_preserves_metadata(self):
+        page = make_leaf()
+        page.nsn = 7
+        page.rightlink = 42
+        page.page_lsn = 13
+        clone = page.snapshot()
+        assert (clone.nsn, clone.rightlink, clone.page_lsn) == (7, 42, 13)
+        assert clone.pid == page.pid and clone.capacity == page.capacity

@@ -1,0 +1,63 @@
+"""Additional page-model coverage: iteration, capacity, kinds."""
+
+import pytest
+
+from repro.storage.page import (
+    NO_PAGE,
+    InternalEntry,
+    LeafEntry,
+    Page,
+    PageKind,
+)
+
+
+class TestLeafEntry:
+    def test_as_tuple(self):
+        assert LeafEntry(1, "r").as_tuple() == (1, "r")
+
+    def test_copy_preserves_tombstone(self):
+        entry = LeafEntry(1, "r", deleted=True, delete_xid=7)
+        clone = entry.copy()
+        assert clone.deleted and clone.delete_xid == 7
+        clone.deleted = False
+        assert entry.deleted  # independent
+
+    def test_internal_entry_copy_deep(self):
+        entry = InternalEntry([1, 2], 9)
+        clone = entry.copy()
+        clone.pred.append(3)
+        assert entry.pred == [1, 2]
+
+
+class TestPageKinds:
+    def test_free_page_is_neither_leaf_nor_internal(self):
+        page = Page(pid=1, kind=PageKind.FREE)
+        assert not page.is_leaf and not page.is_internal
+
+    def test_repr_is_informative(self):
+        page = Page(pid=3, kind=PageKind.LEAF, capacity=8)
+        text = repr(page)
+        assert "pid=3" in text and "leaf" in text
+
+    def test_no_page_sentinel(self):
+        assert NO_PAGE == -1
+        page = Page(pid=1, kind=PageKind.LEAF)
+        assert page.rightlink == NO_PAGE
+
+
+class TestCapacityEdges:
+    def test_capacity_one_page(self):
+        page = Page(pid=1, kind=PageKind.LEAF, capacity=1)
+        page.add_entry(LeafEntry(1, "r"))
+        assert page.is_full and page.free_slots == 0
+
+    def test_remove_leaf_entries_empty_set(self):
+        page = Page(pid=1, kind=PageKind.LEAF)
+        page.add_entry(LeafEntry(1, "r"))
+        assert page.remove_leaf_entries(set()) == []
+        assert len(page.entries) == 1
+
+    def test_live_entries_on_all_deleted(self):
+        page = Page(pid=1, kind=PageKind.LEAF)
+        page.add_entry(LeafEntry(1, "r", deleted=True, delete_xid=1))
+        assert list(page.live_entries()) == []

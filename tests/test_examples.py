@@ -1,0 +1,46 @@
+"""Every shipped example must run clean (examples are executable docs).
+
+The slow protocol-comparison demo is exercised with reduced parameters
+via direct import; the rest run as scripts exactly as a user would.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "spatial_reservations.py",
+    "tagged_documents.py",
+    "custom_access_method.py",
+    "wal_tour.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs_clean(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip()  # examples narrate what they did
+
+
+def test_protocol_comparison_measure_function():
+    sys.path.insert(0, str(EXAMPLES))
+    try:
+        import protocol_comparison as pc
+    finally:
+        sys.path.pop(0)
+    row = pc.measure("link", threads=2)
+    assert row["protocol"] == "link"
+    assert row["ops_per_sec"] > 0

@@ -1,0 +1,146 @@
+"""Savepoints and partial rollback (section 10.2)."""
+
+import pytest
+
+from repro.errors import TransactionStateError
+from repro.ext.btree import BTreeExtension, Interval
+
+
+class TestPartialRollback:
+    def test_rollback_to_savepoint_undoes_later_work_only(self, db):
+        tree = db.create_tree("bt", BTreeExtension())
+        txn = db.begin()
+        tree.insert(txn, 1, "before")
+        sp = db.txns.savepoint(txn, "sp1")
+        tree.insert(txn, 2, "after")
+        db.txns.rollback_to_savepoint(txn, sp)
+        # still inside the transaction: 'before' visible, 'after' gone
+        assert tree.search(txn, Interval(0, 10)) == [(1, "before")]
+        db.commit(txn)
+        check = db.begin()
+        assert tree.search(check, Interval(0, 10)) == [(1, "before")]
+        db.commit(check)
+
+    def test_rollback_to_savepoint_restores_deletes(self, db):
+        tree = db.create_tree("bt", BTreeExtension())
+        setup = db.begin()
+        tree.insert(setup, 5, "r5")
+        db.commit(setup)
+        txn = db.begin()
+        sp = db.txns.savepoint(txn)
+        tree.delete(txn, 5, "r5")
+        assert tree.search(txn, Interval(5, 5)) == []
+        db.txns.rollback_to_savepoint(txn, sp)
+        assert tree.search(txn, Interval(5, 5)) == [(5, "r5")]
+        db.commit(txn)
+
+    def test_transaction_continues_after_partial_rollback(self, db):
+        tree = db.create_tree("bt", BTreeExtension())
+        txn = db.begin()
+        sp = db.txns.savepoint(txn)
+        tree.insert(txn, 1, "a")
+        db.txns.rollback_to_savepoint(txn, sp)
+        tree.insert(txn, 2, "b")
+        db.commit(txn)
+        check = db.begin()
+        assert tree.search(check, Interval(0, 10)) == [(2, "b")]
+        db.commit(check)
+
+    def test_nested_savepoints(self, db):
+        tree = db.create_tree("bt", BTreeExtension())
+        txn = db.begin()
+        tree.insert(txn, 1, "a")
+        sp1 = db.txns.savepoint(txn, "one")
+        tree.insert(txn, 2, "b")
+        sp2 = db.txns.savepoint(txn, "two")
+        tree.insert(txn, 3, "c")
+        db.txns.rollback_to_savepoint(txn, sp2)
+        assert {r for _, r in tree.search(txn, Interval(0, 10))} == {
+            "a",
+            "b",
+        }
+        db.txns.rollback_to_savepoint(txn, sp1)
+        assert {r for _, r in tree.search(txn, Interval(0, 10))} == {"a"}
+        db.commit(txn)
+
+    def test_rollback_to_inner_then_outer(self, db):
+        tree = db.create_tree("bt", BTreeExtension())
+        txn = db.begin()
+        sp1 = db.txns.savepoint(txn)
+        tree.insert(txn, 1, "a")
+        sp2 = db.txns.savepoint(txn)
+        db.txns.rollback_to_savepoint(txn, sp2)
+        db.txns.rollback_to_savepoint(txn, sp1)
+        assert tree.search(txn, Interval(0, 10)) == []
+        db.commit(txn)
+
+    def test_rollback_to_dead_savepoint_raises(self, db):
+        txn = db.begin()
+        sp1 = db.txns.savepoint(txn)
+        sp2 = db.txns.savepoint(txn)
+        db.txns.rollback_to_savepoint(txn, sp1)  # discards sp2
+        with pytest.raises(TransactionStateError):
+            db.txns.rollback_to_savepoint(txn, sp2)
+        db.commit(txn)
+
+    def test_full_rollback_after_partial(self, db):
+        tree = db.create_tree("bt", BTreeExtension())
+        txn = db.begin()
+        tree.insert(txn, 1, "a")
+        sp = db.txns.savepoint(txn)
+        tree.insert(txn, 2, "b")
+        db.txns.rollback_to_savepoint(txn, sp)
+        db.rollback(txn)
+        check = db.begin()
+        assert tree.search(check, Interval(0, 10)) == []
+        db.commit(check)
+
+    def test_locks_survive_partial_rollback(self, db):
+        """Strict 2PL: partial rollback releases no locks."""
+        tree = db.create_tree("bt", BTreeExtension())
+        txn = db.begin()
+        sp = db.txns.savepoint(txn)
+        tree.insert(txn, 1, "a")
+        db.txns.rollback_to_savepoint(txn, sp)
+        assert db.locks.held_mode(txn.xid, ("rid", "a")) is not None
+        db.commit(txn)
+
+
+class TestCursorRestoration:
+    def test_open_cursor_position_restored(self, db):
+        tree = db.create_tree("bt", BTreeExtension())
+        setup = db.begin()
+        for i in range(40):
+            tree.insert(setup, i, f"r{i}")
+        db.commit(setup)
+        txn = db.begin()
+        cursor = tree.open_cursor(txn, Interval(0, 39))
+        first_half = [cursor.fetch_next() for _ in range(10)]
+        sp = db.txns.savepoint(txn)
+        more = [cursor.fetch_next() for _ in range(10)]
+        db.txns.rollback_to_savepoint(txn, sp)
+        # the cursor resumes from the savepoint position: re-fetching
+        # yields the same stream it produced after the savepoint
+        replay = [cursor.fetch_next() for _ in range(10)]
+        assert replay == more
+        rest = cursor.fetch_all()
+        cursor.close()
+        seen = {r for _, r in first_half + more + rest}
+        assert seen == {f"r{i}" for i in range(40)}
+        db.commit(txn)
+
+    def test_savepoint_snapshot_contains_cursor_stack(self, db):
+        tree = db.create_tree("bt", BTreeExtension())
+        setup = db.begin()
+        for i in range(20):
+            tree.insert(setup, i, f"r{i}")
+        db.commit(setup)
+        txn = db.begin()
+        cursor = tree.open_cursor(txn, Interval(0, 19))
+        cursor.fetch_next()
+        sp = db.txns.savepoint(txn)
+        assert cursor in sp.cursor_stacks
+        snapshot = sp.cursor_stacks[cursor]
+        assert "stack" in snapshot and "seen" in snapshot
+        cursor.close()
+        db.commit(txn)

@@ -1,0 +1,105 @@
+"""Unit tests of the Transaction object's bookkeeping."""
+
+import pytest
+
+from repro.errors import TransactionStateError
+from repro.txn.transaction import (
+    IsolationLevel,
+    Savepoint,
+    Transaction,
+    TxnState,
+)
+
+
+class TestStateMachine:
+    def test_fresh_transaction_active(self):
+        txn = Transaction(1)
+        assert txn.is_active
+        txn.require_active()  # no raise
+
+    def test_rolling_back_counts_as_active_but_not_usable(self):
+        txn = Transaction(1)
+        txn.state = TxnState.ROLLING_BACK
+        assert txn.is_active
+        with pytest.raises(TransactionStateError):
+            txn.require_active()
+
+    def test_finished_states(self):
+        txn = Transaction(1)
+        txn.state = TxnState.COMMITTED
+        assert not txn.is_active
+        with pytest.raises(TransactionStateError):
+            txn.require_active()
+
+    def test_isolation_flags(self):
+        assert Transaction(1).repeatable_read
+        assert not Transaction(
+            2, IsolationLevel.READ_COMMITTED
+        ).repeatable_read
+        assert not Transaction(
+            3, IsolationLevel.READ_UNCOMMITTED
+        ).repeatable_read
+
+
+class TestSignalingBookkeeping:
+    def test_note_then_release(self):
+        txn = Transaction(1)
+        txn.note_signaling(("node", "t", 5))
+        assert txn.may_release_signaling(("node", "t", 5))
+        txn.drop_signaling(("node", "t", 5))
+        assert not txn.may_release_signaling(("node", "t", 5))
+
+    def test_eot_pin_blocks_release(self):
+        txn = Transaction(1)
+        name = ("node", "t", 5)
+        txn.note_signaling(name)
+        txn.pin_signaling_to_eot(name)
+        assert not txn.may_release_signaling(name)
+
+    def test_savepoint_pin_blocks_release_until_popped(self):
+        txn = Transaction(1)
+        name = ("node", "t", 5)
+        txn.note_signaling(name)
+        sp = Savepoint(name="s", lsn=0, pinned_signaling={name})
+        txn.add_savepoint(sp)
+        assert not txn.may_release_signaling(name)
+        txn.release_savepoint(sp)
+        assert txn.may_release_signaling(name)
+
+    def test_nested_savepoint_pins_recomputed(self):
+        txn = Transaction(1)
+        n1, n2 = ("node", "t", 1), ("node", "t", 2)
+        txn.note_signaling(n1)
+        txn.note_signaling(n2)
+        sp1 = Savepoint(name="1", lsn=0, pinned_signaling={n1})
+        sp2 = Savepoint(name="2", lsn=0, pinned_signaling={n2})
+        txn.add_savepoint(sp1)
+        txn.add_savepoint(sp2)
+        assert not txn.may_release_signaling(n2)
+        txn.pop_savepoints_after(sp1)  # sp2 gone
+        assert txn.may_release_signaling(n2)
+        assert not txn.may_release_signaling(n1)
+
+    def test_signaling_counts(self):
+        txn = Transaction(1)
+        name = ("node", "t", 9)
+        txn.note_signaling(name)
+        txn.note_signaling(name)
+        txn.drop_signaling(name)
+        assert txn.may_release_signaling(name)
+        txn.drop_signaling(name)
+        assert not txn.may_release_signaling(name)
+
+
+class TestCursorRegistry:
+    def test_register_unregister(self):
+        txn = Transaction(1)
+        cursor = object()
+        txn.register_cursor(cursor)
+        assert txn.open_cursors() == [cursor]
+        txn.unregister_cursor(cursor)
+        assert txn.open_cursors() == []
+
+    def test_unregister_unknown_is_noop(self):
+        txn = Transaction(1)
+        txn.unregister_cursor(object())

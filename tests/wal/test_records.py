@@ -1,0 +1,314 @@
+"""Unit tests for each log record's redo (and page-oriented undo)."""
+
+from repro.ext.btree import Interval
+from repro.storage.page import (
+    NO_PAGE,
+    InternalEntry,
+    LeafEntry,
+    Page,
+    PageKind,
+)
+from repro.wal.records import (
+    AddLeafEntryRecord,
+    FreePageRecord,
+    GarbageCollectionRecord,
+    GetPageRecord,
+    InternalEntryAddRecord,
+    InternalEntryDeleteRecord,
+    InternalEntryUpdateRecord,
+    MarkLeafEntryRecord,
+    PageImageClr,
+    ParentEntryUpdateRecord,
+    RemoveLeafEntryClr,
+    RightlinkUpdateRecord,
+    RootSplitRecord,
+    SplitRecord,
+    TABLE1_RECORD_TYPES,
+    UnmarkLeafEntryClr,
+)
+
+
+def leaf(pid=1, n=0) -> Page:
+    page = Page(pid=pid, kind=PageKind.LEAF, capacity=8)
+    for i in range(n):
+        page.add_entry(LeafEntry(i, f"r{i}"))
+    return page
+
+
+def internal(pid=10, children=()) -> Page:
+    page = Page(pid=pid, kind=PageKind.INTERNAL, level=1, capacity=8)
+    for pred, child in children:
+        page.add_entry(InternalEntry(pred, child))
+    return page
+
+
+class TestParentEntryUpdate:
+    def test_redo_updates_child_bp_and_parent_slot(self):
+        child = leaf(pid=1)
+        child.bp = Interval(0, 5)
+        parent = internal(pid=10, children=[(Interval(0, 5), 1)])
+        rec = ParentEntryUpdateRecord(
+            xid=1, new_bp=Interval(0, 9), child_pid=1, parent_pid=10
+        )
+        rec.redo_page(child)
+        rec.redo_page(parent)
+        assert child.bp == Interval(0, 9)
+        assert parent.find_child_entry(1).pred == Interval(0, 9)
+
+    def test_redo_only(self):
+        rec = ParentEntryUpdateRecord(xid=1)
+        assert not rec.undoable
+
+    def test_redo_tolerates_missing_slot(self):
+        parent = internal(pid=10)
+        rec = ParentEntryUpdateRecord(
+            xid=1, new_bp=Interval(0, 9), child_pid=1, parent_pid=10
+        )
+        rec.redo_page(parent)  # no error
+
+
+class TestSplitRecord:
+    def make(self):
+        orig = leaf(pid=1, n=4)
+        orig.nsn = 3
+        orig.rightlink = 7
+        orig.bp = Interval(0, 3)
+        moved = [orig.entries[2].copy(), orig.entries[3].copy()]
+        rec = SplitRecord(
+            xid=1,
+            orig_pid=1,
+            new_pid=2,
+            moved_entries=moved,
+            level=0,
+            kind=PageKind.LEAF,
+            old_nsn=3,
+            new_nsn=9,
+            old_rightlink=7,
+            old_bp=Interval(0, 3),
+            orig_new_bp=Interval(0, 1),
+            new_page_bp=Interval(2, 3),
+            capacity=8,
+        )
+        return orig, rec
+
+    def test_redo_on_original(self):
+        orig, rec = self.make()
+        rec.redo_page(orig)
+        assert sorted(e.rid for e in orig.entries) == ["r0", "r1"]
+        assert orig.nsn == 9
+        assert orig.rightlink == 2  # now points at the new sibling
+        assert orig.bp == Interval(0, 1)
+
+    def test_redo_builds_new_sibling(self):
+        _, rec = self.make()
+        fresh = Page(pid=2, kind=PageKind.LEAF, capacity=4)
+        rec.redo_page(fresh)
+        assert sorted(e.rid for e in fresh.entries) == ["r2", "r3"]
+        assert fresh.nsn == 3  # inherits original's old NSN
+        assert fresh.rightlink == 7  # inherits original's old rightlink
+        assert fresh.bp == Interval(2, 3)
+        assert fresh.capacity == 8
+
+    def test_undo_restores_original(self):
+        orig, rec = self.make()
+        rec.redo_page(orig)
+        rec.undo_page(orig)
+        assert sorted(e.rid for e in orig.entries) == [
+            "r0",
+            "r1",
+            "r2",
+            "r3",
+        ]
+        assert orig.nsn == 3
+        assert orig.rightlink == 7
+        assert orig.bp == Interval(0, 3)
+
+    def test_undoable_flag(self):
+        _, rec = self.make()
+        assert rec.undoable and not rec.logical_undo
+
+
+class TestRootSplit:
+    def make(self):
+        root = leaf(pid=0, n=4)
+        root.nsn = 2
+        entries = [e.copy() for e in root.entries]
+        rec = RootSplitRecord(
+            xid=1,
+            root_pid=0,
+            left_pid=5,
+            right_pid=6,
+            left_entries=entries[:2],
+            right_entries=entries[2:],
+            left_bp=Interval(0, 1),
+            right_bp=Interval(2, 3),
+            child_kind=PageKind.LEAF,
+            child_level=0,
+            old_nsn=2,
+            new_nsn=11,
+            capacity=8,
+        )
+        return root, rec
+
+    def test_redo_turns_root_internal(self):
+        root, rec = self.make()
+        rec.redo_page(root)
+        assert root.is_internal and root.level == 1
+        assert [e.child for e in root.entries] == [5, 6]
+        assert root.nsn == 11
+        assert root.rightlink == NO_PAGE
+
+    def test_redo_builds_children_with_chain(self):
+        root, rec = self.make()
+        left = Page(pid=5, kind=PageKind.LEAF)
+        right = Page(pid=6, kind=PageKind.LEAF)
+        rec.redo_page(left)
+        rec.redo_page(right)
+        assert left.rightlink == 6 and right.rightlink == NO_PAGE
+        assert left.nsn == rec.old_nsn and right.nsn == rec.old_nsn
+        assert [e.rid for e in left.entries] == ["r0", "r1"]
+        assert [e.rid for e in right.entries] == ["r2", "r3"]
+
+    def test_undo_restores_leaf_root(self):
+        root, rec = self.make()
+        rec.redo_page(root)
+        rec.undo_page(root)
+        assert root.is_leaf and root.level == 0
+        assert sorted(e.rid for e in root.entries) == [
+            "r0",
+            "r1",
+            "r2",
+            "r3",
+        ]
+        assert root.nsn == 2
+
+
+class TestInternalEntryRecords:
+    def test_add_redo_and_undo(self):
+        page = internal(pid=10)
+        rec = InternalEntryAddRecord(
+            xid=1, page_id=10, pred=Interval(0, 9), child=3
+        )
+        rec.redo_page(page)
+        assert page.find_child_entry(3).pred == Interval(0, 9)
+        rec.redo_page(page)  # idempotent
+        assert len(page.entries) == 1
+        rec.undo_page(page)
+        assert page.find_child_entry(3) is None
+
+    def test_update_redo_and_undo(self):
+        page = internal(pid=10, children=[(Interval(0, 5), 3)])
+        rec = InternalEntryUpdateRecord(
+            xid=1,
+            page_id=10,
+            child=3,
+            new_bp=Interval(0, 9),
+            old_bp=Interval(0, 5),
+        )
+        rec.redo_page(page)
+        assert page.find_child_entry(3).pred == Interval(0, 9)
+        rec.undo_page(page)
+        assert page.find_child_entry(3).pred == Interval(0, 5)
+
+    def test_delete_redo_and_undo(self):
+        page = internal(pid=10, children=[(Interval(0, 5), 3)])
+        rec = InternalEntryDeleteRecord(
+            xid=1, page_id=10, pred=Interval(0, 5), child=3
+        )
+        rec.redo_page(page)
+        assert page.find_child_entry(3) is None
+        rec.undo_page(page)
+        assert page.find_child_entry(3).pred == Interval(0, 5)
+
+
+class TestLeafContentRecords:
+    def test_add_leaf_entry_redo_idempotent(self):
+        page = leaf(pid=1)
+        rec = AddLeafEntryRecord(
+            xid=1, tree="t", page_id=1, nsn=0, key=5, rid="r5"
+        )
+        rec.redo_page(page)
+        rec.redo_page(page)
+        assert len(page.entries) == 1
+        assert rec.logical_undo and rec.undoable
+
+    def test_mark_leaf_entry_redo_sets_deleter(self):
+        page = leaf(pid=1, n=2)
+        rec = MarkLeafEntryRecord(
+            xid=42, tree="t", page_id=1, nsn=0, key=1, rid="r1"
+        )
+        rec.redo_page(page)
+        entry = page.find_leaf_entry(1, "r1")
+        assert entry.deleted and entry.delete_xid == 42
+
+    def test_garbage_collection_redo(self):
+        page = leaf(pid=1, n=3)
+        page.entries[1].deleted = True
+        rec = GarbageCollectionRecord(
+            xid=1, page_id=1, rids=[(1, "r1")]
+        )
+        rec.redo_page(page)
+        assert sorted(e.rid for e in page.entries) == ["r0", "r2"]
+        assert not rec.undoable
+
+
+class TestCompensationRecords:
+    def test_remove_leaf_entry_clr(self):
+        page = leaf(pid=1, n=2)
+        clr = RemoveLeafEntryClr(xid=1, page_id=1, key=0, rid="r0")
+        clr.redo_page(page)
+        assert [e.rid for e in page.entries] == ["r1"]
+        assert not clr.undoable
+
+    def test_unmark_leaf_entry_clr(self):
+        page = leaf(pid=1, n=1)
+        page.entries[0].deleted = True
+        page.entries[0].delete_xid = 9
+        clr = UnmarkLeafEntryClr(xid=9, page_id=1, key=0, rid="r0")
+        clr.redo_page(page)
+        assert not page.entries[0].deleted
+        assert page.entries[0].delete_xid is None
+
+    def test_page_image_clr_restores_everything(self):
+        original = leaf(pid=1, n=3)
+        original.nsn = 4
+        original.rightlink = 9
+        clr = PageImageClr(xid=1, page_id=1, image=original.snapshot())
+        mangled = leaf(pid=1, n=0)
+        mangled.kind = PageKind.INTERNAL
+        clr.redo_page(mangled)
+        assert mangled.is_leaf
+        assert len(mangled.entries) == 3
+        assert mangled.nsn == 4 and mangled.rightlink == 9
+
+
+class TestMiscRecords:
+    def test_rightlink_update(self):
+        page = leaf(pid=1)
+        page.rightlink = 5
+        rec = RightlinkUpdateRecord(
+            xid=1, page_id=1, new_rightlink=9, old_rightlink=5
+        )
+        rec.redo_page(page)
+        assert page.rightlink == 9
+        rec.undo_page(page)
+        assert page.rightlink == 5
+
+    def test_page_allocation_records_flags(self):
+        assert GetPageRecord(xid=1, page_id=3).undoable
+        assert FreePageRecord(xid=1, page_id=3).undoable
+
+    def test_table1_catalogue_is_complete(self):
+        names = {cls.__name__ for cls in TABLE1_RECORD_TYPES}
+        assert names == {
+            "ParentEntryUpdateRecord",
+            "SplitRecord",
+            "GarbageCollectionRecord",
+            "InternalEntryAddRecord",
+            "InternalEntryUpdateRecord",
+            "InternalEntryDeleteRecord",
+            "AddLeafEntryRecord",
+            "MarkLeafEntryRecord",
+            "GetPageRecord",
+            "FreePageRecord",
+        }
