@@ -105,7 +105,6 @@ def tombstone_throughput(with_vacuum: bool) -> dict:
         tree.insert(setup, i, f"r{i}")
     db.commit(setup)
     start = time.perf_counter()
-    scans = 0
     for round_no in range(6):
         txn = db.begin()
         for i in range(round_no * 60, round_no * 60 + 60):

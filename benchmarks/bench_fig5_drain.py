@@ -10,7 +10,6 @@ correct throughout.
 
 from __future__ import annotations
 
-import random
 import threading
 
 from repro.database import Database
@@ -38,7 +37,6 @@ def drain_experiment() -> dict:
     scan_results = {"scans": 0, "bad": 0}
 
     def reader():
-        rng = random.Random(5)
         while not stop.is_set():
             txn = db.begin()
             try:

@@ -1,0 +1,184 @@
+"""Overhead of the observability layer (``repro.obs``).
+
+The metrics registry is wired through every hot path — latch acquire
+and release, buffer pin, lock waits, WAL appends, tree operations — so
+its cost must be demonstrably negligible.  This benchmark runs the same
+mixed workload as ``bench_claim_throughput.py`` (C1's full-system
+configuration) twice: once on a normal database and once with
+``metrics_enabled=False`` (every instrument a shared no-op, no clock
+read anywhere), and holds the instrumented run to a <5% budget.
+
+How the budget is enforced matters on shared hardware.  Wall-clock
+throughput here swings +/-15% between *identical* runs (CPU steal), so
+a 5% wall-clock gate would be a coin flip.  The gate is therefore a
+deterministic proxy: cProfile counts every function call executed by
+the identical single-thread op sequence under both configurations, and
+the instrumented run must execute fewer than 5% more calls.  In this
+pure-Python system, interpreter work is function calls — the sampled
+latch timing, the gauge-based subsystem counters and the per-thread
+shards exist precisely to keep that number down.  Wall-clock throughput
+of the 8-thread workload is still measured (paired rounds, alternating
+order, GC parked outside the timed windows, median ratio) and reported,
+with a loose backstop assertion to catch catastrophic regressions.
+
+Measured numbers (recorded in benchmarks/results.txt): ~1-2% extra
+function calls, wall-clock overhead indistinguishable from machine
+noise (median paired ratio ~0-5% depending on the run).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import gc
+import statistics
+
+from repro.database import Database
+from repro.ext.btree import BTreeExtension
+from repro.harness.driver import TransactionalDriver
+from repro.workload.generator import MixSpec, ScalarWorkload
+
+IO_DELAY = 0.0005
+POOL = 40
+PRELOAD = 800
+OPS = 400
+THREADS = 8
+ROUNDS = 5
+#: ops for the deterministic single-thread call-count probe
+PROBE_OPS = 2000
+
+
+def _build(metrics_enabled: bool, io_delay: float):
+    db = Database(
+        page_capacity=8,
+        io_delay=io_delay,
+        pool_capacity=POOL,
+        lock_timeout=30.0,
+        metrics_enabled=metrics_enabled,
+    )
+    tree = db.create_tree("obs", BTreeExtension())
+    workload = ScalarWorkload(
+        seed=17,
+        mix=MixSpec(insert=0.5, search=0.5),
+        key_space=50_000,
+        selectivity=0.002,
+    )
+    driver = TransactionalDriver(db, tree, ops_per_txn=4)
+    driver.preload(workload.preload(PRELOAD))
+    return db, driver, workload
+
+
+def run_once(metrics_enabled: bool) -> float:
+    db, driver, workload = _build(metrics_enabled, IO_DELAY)
+    metrics = driver.run(list(workload.ops(OPS)), threads=THREADS)
+    if metrics_enabled:
+        # the instrumented run must actually have been instrumented
+        snap = metrics.metrics_snapshot
+        assert snap["buffer"]["hits"] > 0
+        assert snap["latch"]["acquisitions"] > 0
+    else:
+        assert metrics.metrics_snapshot == {}
+    return metrics.ops_per_sec
+
+
+def count_calls(metrics_enabled: bool) -> int:
+    """Function calls executed by the identical single-thread op mix.
+
+    Deterministic: same seed, same op sequence, one thread, no I/O
+    delay — the only difference between the two configurations is the
+    instrumentation itself.  (The transaction loop runs inline rather
+    than through the driver because cProfile observes only the calling
+    thread.)
+    """
+    db, driver, workload = _build(metrics_enabled, io_delay=0.0)
+    ops = list(workload.ops(PROBE_OPS))
+    profile = cProfile.Profile()
+    profile.enable()
+    i = 0
+    while i < len(ops):
+        txn = db.begin(driver.isolation)
+        for op in ops[i : i + driver.ops_per_txn]:
+            driver._apply(txn, op)
+        db.commit(txn)
+        i += driver.ops_per_txn
+    profile.disable()
+    return sum(entry.callcount for entry in profile.getstats())
+
+
+def test_obs_overhead_under_5_percent(benchmark, emit):
+    rows = []
+    ratios: list[float] = []
+    calls: dict[bool, int] = {}
+
+    def run():
+        rows.clear()
+        ratios.clear()
+        calls.clear()
+        # The gate: deterministic call-count comparison.
+        calls[False] = count_calls(metrics_enabled=False)
+        calls[True] = count_calls(metrics_enabled=True)
+        # The report: wall-clock throughput of the threaded workload.
+        # Warmup pair, discarded (first run pays import/allocator
+        # costs); GC parked during the timed pairs and run explicitly
+        # between them, so collection points cannot differ per arm.
+        run_once(metrics_enabled=False)
+        run_once(metrics_enabled=True)
+        gc.disable()
+        try:
+            for rnd in range(ROUNDS):
+                # paired back-to-back rounds: drift hits both arms of a
+                # pair roughly equally; the order inside a pair
+                # alternates so within-process drift cannot
+                # systematically penalize one arm
+                gc.collect()
+                if rnd % 2 == 0:
+                    disabled = run_once(metrics_enabled=False)
+                    enabled = run_once(metrics_enabled=True)
+                else:
+                    enabled = run_once(metrics_enabled=True)
+                    disabled = run_once(metrics_enabled=False)
+                ratios.append(enabled / disabled)
+        finally:
+            gc.enable()
+        call_overhead = calls[True] / calls[False] - 1.0
+        wall_overhead = 1.0 - statistics.median(ratios)
+        rows.append(
+            {
+                "measure": "function calls (deterministic gate)",
+                "metrics_off": calls[False],
+                "metrics_on": calls[True],
+                "overhead_pct": round(call_overhead * 100, 2),
+            }
+        )
+        rows.append(
+            {
+                "measure": f"wall clock, {THREADS} threads (report)",
+                "metrics_off": "-",
+                "metrics_on": "-",
+                "overhead_pct": round(wall_overhead * 100, 2),
+            }
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "OBS — metrics/tracing overhead on the C1 full-system workload "
+        f"(call counts over {PROBE_OPS} single-thread ops; wall clock "
+        f"as median paired ratio over {ROUNDS} rounds)",
+        rows,
+        columns=["measure", "metrics_off", "metrics_on", "overhead_pct"],
+    )
+    call_ratio = calls[True] / calls[False]
+    assert call_ratio < 1.05, (
+        "observability overhead exceeds 5%: instrumented run executes "
+        f"{calls[True]} function calls vs {calls[False]} uninstrumented "
+        f"({(call_ratio - 1) * 100:.2f}% more)"
+    )
+    # Backstop only: wall clock on this hardware is too noisy for a
+    # tight gate (see module docstring; median paired ratios for
+    # identical code have been observed from 0.81 to 1.02 across runs),
+    # but a catastrophic slowdown would still show through.
+    median_ratio = statistics.median(ratios)
+    assert median_ratio > 0.70, (
+        "instrumented throughput collapsed: median enabled/disabled "
+        f"ratio {median_ratio:.3f} "
+        f"(ratios: {[round(r, 3) for r in ratios]})"
+    )

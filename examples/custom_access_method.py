@@ -98,7 +98,7 @@ def main() -> None:
     txn = db.begin()
     matches = firewall.search(txn, probe)
     db.commit(txn)
-    print(f"rules matching 10.2.4.17:")
+    print("rules matching 10.2.4.17:")
     for cidr, rule in matches:
         print(f"  {rule:<12} {cidr}")
     assert {rule for _, rule in matches} == {"build-farm"}

@@ -69,7 +69,7 @@ def main() -> None:
     by_key = {(r["protocol"], r["threads"]): r["ops_per_sec"] for r in rows}
     print()
     print(
-        f"link speedup over subtree locking at 8 threads: "
+        "link speedup over subtree locking at 8 threads: "
         f"{by_key[('link', 8)] / by_key[('subtree', 8)]:.1f}x"
     )
 

@@ -4,6 +4,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import BTreeExtension, Database, Interval, IsolationLevel
+from repro.tools.inspect import dump_stats
 
 def main() -> None:
     # A database bundles the storage, WAL, lock and transaction
@@ -61,6 +62,10 @@ def main() -> None:
     assert accounts.search(txn, Interval(42, 42)) == [(42, "frank")]
     db.commit(txn)
     print("frank's committed insert survived a crash + restart")
+
+    # --- what the database measured about all of this ----------------
+    print("\n=== observability: db.metrics (dump_stats) ===")
+    print(dump_stats(db))
 
 
 if __name__ == "__main__":

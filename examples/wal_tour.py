@@ -10,6 +10,7 @@ Run:  python examples/wal_tour.py
 from __future__ import annotations
 
 from repro import BTreeExtension, Database, Interval
+from repro.tools.inspect import dump_stats
 from repro.wal.recovery import RestartRecovery
 
 
@@ -64,6 +65,11 @@ def main() -> None:
     assert (99, "doomed") not in rows, "loser insert survived"
     assert len(rows) == 9
     print("\ncommitted work preserved, loser rolled back ✓")
+
+    # the recovered database carries full instrumentation too: the
+    # recovery passes themselves were timed (recovery.*_ns)
+    print("\n=== observability: db2.metrics (dump_stats) ===")
+    print(dump_stats(db2))
 
 
 if __name__ == "__main__":

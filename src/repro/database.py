@@ -22,6 +22,7 @@ from repro.errors import ReproError, WALError
 from repro.gist.extension import GiSTExtension
 from repro.gist.tree import GiST
 from repro.lock.manager import LockManager
+from repro.obs.metrics import MetricsRegistry
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import PageStore
 from repro.storage.page import PageKind
@@ -68,6 +69,11 @@ class Database:
     store, log:
         Supply existing instances to reopen a database after a crash
         (normally via :meth:`restart`).
+    metrics_enabled:
+        ``False`` builds the whole assembly over a disabled metrics
+        registry: every instrument is a shared no-op and no clock is
+        read on any hot path (``benchmarks/bench_obs_overhead.py``
+        measures the difference).
     """
 
     def __init__(
@@ -81,19 +87,44 @@ class Database:
         hooks: Hooks | None = None,
         store: PageStore | None = None,
         log: LogManager | None = None,
+        metrics_enabled: bool = True,
     ) -> None:
+        self.metrics = MetricsRegistry(enabled=metrics_enabled)
         self.store = store or PageStore(
             io_delay=io_delay, page_capacity=page_capacity
         )
-        self.log = log or LogManager(flush_delay=flush_delay)
+        self.store.bind_metrics(self.metrics)
+        if log is None:
+            self.log = LogManager(
+                flush_delay=flush_delay, metrics=self.metrics
+            )
+        else:
+            # A log that survived a crash re-homes its wal.* counters
+            # here, carrying totals across the restart.
+            self.log = log
+            self.log.bind_metrics(self.metrics)
         self.pool = BufferPool(
-            self.store, capacity=pool_capacity, wal_flush=self.log.flush
+            self.store,
+            capacity=pool_capacity,
+            wal_flush=self.log.flush,
+            metrics=self.metrics,
         )
-        self.locks = LockManager(default_timeout=lock_timeout)
+        self.locks = LockManager(
+            default_timeout=lock_timeout, metrics=self.metrics
+        )
         self.txns = TransactionManager(self.log, self.locks, predicates=self)
         self.txns.undo_executor = self._undo_record
         self.hooks = hooks or Hooks()
         self.trees: dict[str, GiST] = {}
+        self.metrics.gauge(
+            "txn.active", lambda: len(self.txns.active_transactions())
+        )
+        self.metrics.gauge(
+            "txn.committed", lambda: len(self.txns.committed_xids)
+        )
+        self.metrics.gauge(
+            "txn.aborted", lambda: len(self.txns.aborted_xids)
+        )
         #: set during restart recovery: logical undo must not trigger
         #: structure modifications (section 9.2)
         self.in_restart = False
@@ -216,6 +247,7 @@ class Database:
         from repro.wal.recovery import RestartRecovery
 
         config.setdefault("page_capacity", self.store.page_capacity)
+        config.setdefault("metrics_enabled", self.metrics.enabled)
         new_db = Database(store=self.store, log=self.log, **config)
         RestartRecovery(new_db, extensions).run()
         return new_db

@@ -203,7 +203,6 @@ def _check_nsns(tree, pages, report) -> None:
 def _check_reachability(tree, pages, report) -> None:
     """Every live leaf entry must be found by searching for its key."""
     ext = tree.ext
-    root = pages[tree.root_pid]
     for pid, page in pages.items():
         if not page.is_leaf:
             continue

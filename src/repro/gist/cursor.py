@@ -190,6 +190,14 @@ class SearchCursor:
             # the not-yet-covered sibling.
             if page.nsn > last_handled and page.rightlink != NO_PAGE:
                 tree.stats.bump("rightlink_follows")
+                tree.stats.bump("nsn_restarts")
+                tree.metrics.tracer.event(
+                    "gist.restart.nsn_mismatch",
+                    tree=tree.name,
+                    pid=pid,
+                    memo=last_handled,
+                    nsn=page.nsn,
+                )
                 self.stack.append(
                     StackEntry(page.rightlink, last_handled)
                 )

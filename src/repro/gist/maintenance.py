@@ -29,7 +29,6 @@ from repro.sync.latch import LatchMode
 from repro.txn.transaction import Transaction
 from repro.wal.records import (
     FreePageRecord,
-    GarbageCollectionRecord,
     InternalEntryDeleteRecord,
     ParentEntryUpdateRecord,
     RightlinkUpdateRecord,
@@ -60,17 +59,18 @@ def vacuum(tree: GiST, txn: Transaction) -> VacuumReport:
     condition and simply skip protected nodes.
     """
     report = VacuumReport()
-    levels = _collect_levels(tree)
-    for level_pids in levels:
-        for pid in level_pids:
-            if pid == tree.root_pid:
-                continue
-            _vacuum_node(tree, txn, pid, report)
-    # Root collapse: if everything under the root was deleted, restore
-    # it to the empty-leaf state.
-    with tree.db.pool.fixed(tree.root_pid, LatchMode.X) as root:
-        if root.page.is_internal and not root.page.entries:
-            tree._collapse_empty_root(txn, root)
+    with tree.metrics.tracer.span("gist.vacuum", tree=tree.name):
+        levels = _collect_levels(tree)
+        for level_pids in levels:
+            for pid in level_pids:
+                if pid == tree.root_pid:
+                    continue
+                _vacuum_node(tree, txn, pid, report)
+        # Root collapse: if everything under the root was deleted,
+        # restore it to the empty-leaf state.
+        with tree.db.pool.fixed(tree.root_pid, LatchMode.X) as root:
+            if root.page.is_internal and not root.page.entries:
+                tree._collapse_empty_root(txn, root)
     return report
 
 
@@ -169,6 +169,17 @@ def _shrink_bp(tree: GiST, txn: Transaction, frame: "Frame") -> bool:
     return True
 
 
+def _note_drain_blocked(
+    tree: GiST, victim: PageId, report: VacuumReport, *, probe: str
+) -> None:
+    """A drain probe found live references: the deletion must wait."""
+    report.deletions_blocked += 1
+    tree.stats.bump("drain_waits")
+    tree.metrics.tracer.event(
+        "gist.drain.wait", tree=tree.name, pid=victim, probe=probe
+    )
+
+
 def _find_left_sibling(tree: GiST, victim: PageId) -> PageId:
     """The page whose rightlink points at ``victim``, or ``NO_PAGE``."""
     pool = tree.db.pool
@@ -207,7 +218,7 @@ def _try_delete_node(
     # across the latch acquisitions below would deadlock against
     # traversals that take signaling locks *under* a node latch.
     if not locks.acquire(txn.xid, name, LockMode.X, wait=False):
-        report.deletions_blocked += 1
+        _note_drain_blocked(tree, victim, report, probe="initial")
         return False
     locks.release(txn.xid, name)
     pool, log, store = tree.db.pool, tree.db.log, tree.db.store
@@ -225,7 +236,7 @@ def _try_delete_node(
         pool.unfix(victim_frame)
         if left is not None:
             pool.unfix(left)
-        report.deletions_blocked += 1
+        _note_drain_blocked(tree, victim, report, probe="revalidate")
         return False
     parent = tree._fix_parent(txn, victim, [])
     # Second drain probe, now under *all three* latches.  New references
@@ -240,7 +251,7 @@ def _try_delete_node(
         pool.unfix(victim_frame)
         if left is not None:
             pool.unfix(left)
-        report.deletions_blocked += 1
+        _note_drain_blocked(tree, victim, report, probe="latched")
         return False
     try:
         try:

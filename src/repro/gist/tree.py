@@ -28,6 +28,7 @@ Protocol rules enforced throughout:
 from __future__ import annotations
 
 import threading
+from time import perf_counter_ns
 from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import (
@@ -40,6 +41,7 @@ from repro.gist.extension import GiSTExtension
 from repro.gist.nsn import CounterNSN, LSNBasedNSN, NSNSource
 from repro.gist.stack import StackEntry
 from repro.lock.modes import LockMode
+from repro.obs.metrics import MetricsRegistry
 from repro.predicate.manager import (
     PredicateKind,
     PredicateLock,
@@ -74,36 +76,57 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class TreeStats:
-    """Operation counters exposed to the benchmark harness."""
+    """Operation counters exposed to the benchmark harness.
 
-    def __init__(self) -> None:
+    Dual-homed: the tree keeps its own plain-int counters (what tests
+    and the harness read as ``tree.stats.splits``) and mirrors every
+    bump into shared ``gist.*`` counters on the database's metrics
+    registry, so multi-tree workloads aggregate naturally in
+    ``db.metrics.snapshot()``.
+    """
+
+    FIELDS = (
+        "searches",
+        "inserts",
+        "deletes",
+        "splits",
+        "root_splits",
+        "bp_updates",
+        "rightlink_follows",
+        "predicate_blocks",
+        "gc_runs",
+        "gc_entries",
+        "node_deletes",
+        "parent_redescents",
+        "nsn_restarts",
+        "drain_waits",
+    )
+
+    #: registry names diverging from the plain ``gist.<field>`` scheme
+    _NAME_OVERRIDES = {
+        "nsn_restarts": "gist.restarts.nsn_mismatch",
+        "drain_waits": "gist.drain.waits",
+    }
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self._lock = threading.Lock()
-        self.searches = 0
-        self.inserts = 0
-        self.deletes = 0
-        self.splits = 0
-        self.root_splits = 0
-        self.bp_updates = 0
-        self.rightlink_follows = 0
-        self.predicate_blocks = 0
-        self.gc_runs = 0
-        self.gc_entries = 0
-        self.node_deletes = 0
-        self.parent_redescents = 0
+        registry = registry or MetricsRegistry()
+        self._counters = {}
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+            name = self._NAME_OVERRIDES.get(field, f"gist.{field}")
+            self._counters[field] = registry.counter(name)
 
     def bump(self, field: str, amount: int = 1) -> None:
-        """Increment a named counter."""
+        """Increment a named counter (local and registry-shared)."""
         with self._lock:
             setattr(self, field, getattr(self, field) + amount)
+        self._counters[field].inc(amount)
 
     def snapshot(self) -> dict[str, int]:
-        """Thread-safe snapshot of the counters."""
+        """Thread-safe snapshot of the per-tree counters."""
         with self._lock:
-            return {
-                k: v
-                for k, v in self.__dict__.items()
-                if not k.startswith("_")
-            }
+            return {field: getattr(self, field) for field in self.FIELDS}
 
 
 class GiST:
@@ -129,7 +152,11 @@ class GiST:
         self.root_pid = root_pid
         self.unique = unique
         self.predicates = PredicateManager(extension.consistent)
-        self.stats = TreeStats()
+        self.metrics = db.metrics
+        self.stats = TreeStats(self.metrics)
+        self._h_search_ns = self.metrics.histogram("gist.op.search_ns")
+        self._h_insert_ns = self.metrics.histogram("gist.op.insert_ns")
+        self._h_delete_ns = self.metrics.histogram("gist.op.delete_ns")
         if nsn_source == "lsn":
             self.nsn: NSNSource = LSNBasedNSN(db.log)
         elif nsn_source == "counter":
@@ -182,11 +209,19 @@ class GiST:
         """All ``(key, rid)`` pairs satisfying ``query`` (Figure 3)."""
         from repro.gist.cursor import SearchCursor
 
+        timed = self.metrics.enabled
+        t0 = perf_counter_ns() if timed else 0
         cursor = SearchCursor(self, txn, query)
         try:
             return cursor.fetch_all()
         finally:
             cursor.close()
+            if timed:
+                dur = perf_counter_ns() - t0
+                self._h_search_ns.record(dur)
+                self.metrics.tracer.record_span(
+                    "gist.search", dur, tree=self.name
+                )
 
     def open_cursor(self, txn: Transaction, query: object):
         """An incremental search cursor (restorable across savepoints)."""
@@ -198,6 +233,8 @@ class GiST:
         """Insert a ``(key, rid)`` pair (Figure 4; section 6 or 8)."""
         txn.require_active()
         key = self.ext.normalize_key(key)
+        timed = self.metrics.enabled
+        t0 = perf_counter_ns() if timed else 0
         if self.unique:
             self._insert_unique(txn, key, rid)
         else:
@@ -211,6 +248,12 @@ class GiST:
             finally:
                 self.predicates.unregister(plock)
         self.stats.bump("inserts")
+        if timed:
+            dur = perf_counter_ns() - t0
+            self._h_insert_ns.record(dur)
+            self.metrics.tracer.record_span(
+                "gist.insert", dur, tree=self.name
+            )
 
     def insert_many(
         self, txn: Transaction, pairs: "Sequence[tuple]"
@@ -270,6 +313,8 @@ class GiST:
         """
         txn.require_active()
         key = self.ext.normalize_key(key)
+        timed = self.metrics.enabled
+        t0 = perf_counter_ns() if timed else 0
         self.db.locks.acquire(txn.xid, self.rid_lock(rid), LockMode.X)
         found = self._mark_deleted(txn, key, rid)
         if not found:
@@ -277,6 +322,12 @@ class GiST:
                 f"({key!r}, {rid!r}) not found in tree {self.name!r}"
             )
         self.stats.bump("deletes")
+        if timed:
+            dur = perf_counter_ns() - t0
+            self._h_delete_ns.record(dur)
+            self.metrics.tracer.record_span(
+                "gist.delete", dur, tree=self.name
+            )
 
     # ------------------------------------------------------------------
     # insertion machinery
@@ -469,8 +520,17 @@ class GiST:
                 frame = pool.fix(pid, LatchMode.X)
             page = frame.page
             if memo < page.nsn and page.rightlink != NO_PAGE:
-                # Missed split: choose the min-penalty node in the
+                # Missed split (the stacked NSN memo is stale): restart
+                # locally by choosing the min-penalty node in the
                 # rightlink chain delimited by the memorized value.
+                self.stats.bump("nsn_restarts")
+                self.metrics.tracer.event(
+                    "gist.restart.nsn_mismatch",
+                    tree=self.name,
+                    pid=page.pid,
+                    memo=memo,
+                    nsn=page.nsn,
+                )
                 frame = self._choose_in_chain(txn, frame, memo, key)
                 page = frame.page
             if page.is_leaf:
@@ -634,6 +694,13 @@ class GiST:
         split_rec.redo_page(new_page)
         new_frame.mark_dirty(lsn)
         self.stats.bump("splits")
+        self.metrics.tracer.event(
+            "gist.split",
+            tree=self.name,
+            pid=page.pid,
+            new_pid=new_pid,
+            nsn=split_rec.new_nsn,
+        )
 
         # Replicate predicate attachments consistent with the new BP
         # (section 4.3) and the signaling locks (section 10.3).
@@ -741,6 +808,14 @@ class GiST:
             target_frame.mark_dirty(lsn)
         self.stats.bump("root_splits")
         self.stats.bump("splits")
+        self.metrics.tracer.event(
+            "gist.root_split",
+            tree=self.name,
+            pid=page.pid,
+            left_pid=left_pid,
+            right_pid=right_pid,
+            nsn=rec.new_nsn,
+        )
 
         # Predicates attached to the root replicate to whichever child
         # BP they are consistent with (the attachment invariant).
@@ -976,7 +1051,6 @@ class GiST:
         self, txn: Transaction, key: object, rid: object
     ) -> bool:
         """Locate the leaf entry and mark it deleted.  Returns found."""
-        pool, log = self.db.pool, self.db.log
         eq = self.ext.eq_query(key)
         memo = self.nsn.current()
         stack = [self._stack_pointer(txn, self.root_pid, memo)]
@@ -1014,6 +1088,14 @@ class GiST:
         try:
             if page.nsn > last_handled and page.rightlink != NO_PAGE:
                 self.stats.bump("rightlink_follows")
+                self.stats.bump("nsn_restarts")
+                self.metrics.tracer.event(
+                    "gist.restart.nsn_mismatch",
+                    tree=self.name,
+                    pid=page.pid,
+                    memo=last_handled,
+                    nsn=page.nsn,
+                )
                 stack.append(StackEntry(page.rightlink, last_handled))
             if page.is_leaf:
                 leaf_entry = page.find_leaf_entry(key, rid)
@@ -1051,8 +1133,6 @@ class GiST:
     def _insert_unique(
         self, txn: Transaction, key: object, rid: object
     ) -> None:
-        from repro.gist.cursor import SearchCursor
-
         self.db.locks.acquire(txn.xid, self.rid_lock(rid), LockMode.X)
         eq = self.ext.eq_query(key)
         # The search phase leaves "= key" predicates on every node it

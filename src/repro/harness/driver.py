@@ -40,6 +40,9 @@ class DriverMetrics:
     elapsed: float = 0.0
     latencies: list[float] = field(default_factory=list)
     extra: dict = field(default_factory=dict)
+    #: full ``db.metrics.snapshot()`` taken at the end of the run
+    #: (transactional driver only; not flattened into :meth:`row`)
+    metrics_snapshot: dict = field(default_factory=dict)
 
     @property
     def ops_per_sec(self) -> float:
@@ -159,7 +162,14 @@ class TransactionalDriver:
             "rightlinks": stats["rightlink_follows"],
             "splits": stats["splits"],
             "pred_blocks": stats["predicate_blocks"],
+            "nsn_restarts": stats["nsn_restarts"],
+            "hit_rate": round(
+                self.db.pool.hits
+                / max(1, self.db.pool.hits + self.db.pool.misses),
+                3,
+            ),
         }
+        metrics.metrics_snapshot = self.db.metrics.snapshot()
         return metrics
 
     def _apply(self, txn, op: Op) -> None:

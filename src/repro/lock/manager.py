@@ -22,9 +22,11 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 
 from repro.errors import DeadlockError, LockTimeoutError
 from repro.lock.modes import LockMode, compatible, stronger_or_equal, supremum
+from repro.obs.metrics import MetricsRegistry
 
 #: Lock names are arbitrary hashables; by convention the library uses
 #: tuples like ``("rid", rid)``, ``("node", pid)``, ``("txn", xid)``.
@@ -52,13 +54,44 @@ class _LockHead:
 
 
 class LockStats:
-    """Counters the benchmarks read off the lock manager."""
+    """Counters the benchmarks read off the lock manager.
 
-    def __init__(self) -> None:
+    The ints are only ever mutated while the manager's mutex is held, so
+    plain ``+=`` is exact; the registry reads them through ``lock.*``
+    gauges evaluated at snapshot time, which makes a lock acquisition
+    cost zero registry calls on the hot path.  Only the wait-time
+    histogram is a live registry instrument (waits are rare and already
+    expensive).
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        registry = registry or MetricsRegistry()
+        #: mutated under the manager mutex only
         self.acquires = 0
         self.waits = 0
         self.deadlocks = 0
         self.timeouts = 0
+        registry.gauge("lock.acquires", lambda: self.acquires)
+        registry.gauge("lock.waits", lambda: self.waits)
+        registry.gauge("lock.deadlocks", lambda: self.deadlocks)
+        registry.gauge("lock.timeouts", lambda: self.timeouts)
+        self.wait_ns = registry.histogram("lock.wait_ns")
+
+    def note_acquire(self) -> None:
+        """Count one acquisition request (manager mutex held)."""
+        self.acquires += 1
+
+    def note_wait(self) -> None:
+        """Count one queued wait (manager mutex held)."""
+        self.waits += 1
+
+    def note_deadlock(self) -> None:
+        """Count one deadlock-victim abort (manager mutex held)."""
+        self.deadlocks += 1
+
+    def note_timeout(self) -> None:
+        """Count one abandoned wait (manager mutex held)."""
+        self.timeouts += 1
 
     def snapshot(self) -> dict[str, int]:
         """Thread-safe snapshot of the counters."""
@@ -78,11 +111,18 @@ class LockManager:
     default_timeout:
         Backstop timeout in seconds for any wait (protects the test suite
         against undetected hangs).  ``None`` waits forever.
+    metrics:
+        Metrics registry for the ``lock.*`` counters and wait-time
+        histogram; a private registry is created when omitted.
     """
 
-    def __init__(self, default_timeout: float | None = 30.0) -> None:
+    def __init__(
+        self,
+        default_timeout: float | None = 30.0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.default_timeout = default_timeout
-        self.stats = LockStats()
+        self.stats = LockStats(metrics)
         self._mutex = threading.Lock()
         self._cond = threading.Condition(self._mutex)
         self._heads: dict[LockName, _LockHead] = {}
@@ -113,7 +153,7 @@ class LockManager:
         if timeout is None:
             timeout = self.default_timeout
         with self._mutex:
-            self.stats.acquires += 1
+            self.stats.note_acquire()
             head = self._heads.get(name)
             if head is None:
                 head = _LockHead(name)
@@ -155,22 +195,23 @@ class LockManager:
         self, head: _LockHead, request: _Request, timeout: float | None
     ) -> bool:
         """Block (mutex held) until the queued request is granted."""
-        self.stats.waits += 1
+        self.stats.note_wait()
         self._waiting[request.owner] = (request, head)
+        wait_start = perf_counter_ns()
         try:
             self._detect_deadlock()
             remaining = timeout
             while not request.granted:
                 if request.victim:
                     self._remove_request(head, request)
-                    self.stats.deadlocks += 1
+                    self.stats.note_deadlock()
                     raise DeadlockError(
                         f"transaction {request.owner!r} chosen as deadlock "
                         f"victim waiting for {head.name!r}"
                     )
                 if remaining is not None and remaining <= 0:
                     self._remove_request(head, request)
-                    self.stats.timeouts += 1
+                    self.stats.note_timeout()
                     raise LockTimeoutError(
                         f"lock wait timeout on {head.name!r} by "
                         f"{request.owner!r}"
@@ -181,6 +222,9 @@ class LockManager:
                     remaining -= slice_
             return True
         finally:
+            # Every wait is measured — granted, victimized or timed out;
+            # the histogram is the latency face of the waits counter.
+            self.stats.wait_ns.record(perf_counter_ns() - wait_start)
             self._waiting.pop(request.owner, None)
 
     # ------------------------------------------------------------------

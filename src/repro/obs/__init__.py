@@ -1,0 +1,30 @@
+"""Unified observability layer: metrics registry + structured tracer.
+
+Every subsystem (latches, locks, buffer pool, WAL, trees, recovery)
+reports into one :class:`MetricsRegistry` owned by the
+:class:`~repro.database.Database` (``db.metrics``); operation spans and
+protocol events land in its :class:`Tracer` (``db.metrics.tracer``).
+The dotted metric names are a stable public contract documented in
+README.md ("Observability") and DESIGN.md §7.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_NS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LatchTimer,
+    MetricsRegistry,
+)
+from repro.obs.tracer import TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_NS_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "LatchTimer",
+    "MetricsRegistry",
+    "TraceEvent",
+    "Tracer",
+]

@@ -16,9 +16,11 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from time import perf_counter_ns
 from typing import Callable, Iterator
 
 from repro.errors import BufferPoolError
+from repro.obs.metrics import LatchTimer, MetricsRegistry
 from repro.storage.disk import PageStore
 from repro.storage.page import Page, PageId, PageKind
 from repro.sync.latch import LatchMode, SXLatch
@@ -29,14 +31,14 @@ class Frame:
 
     __slots__ = ("page", "pin_count", "dirty", "rec_lsn", "latch", "_clock")
 
-    def __init__(self, page: Page) -> None:
+    def __init__(self, page: Page, latch_timer: object = None) -> None:
         self.page = page
         self.pin_count = 0
         self.dirty = False
         #: LSN of the record that first dirtied this page since its last
         #: flush — the recLSN that goes into the dirty page table.
         self.rec_lsn: int | None = None
-        self.latch = SXLatch(name=page.pid)
+        self.latch = SXLatch(name=page.pid, timer=latch_timer)
         self._clock = 0
 
     def mark_dirty(self, lsn: int) -> None:
@@ -66,6 +68,11 @@ class BufferPool:
         ``page_lsn == lsn`` is written to disk.  Wired to
         ``LogManager.flush`` by the database assembly; defaults to a no-op
         so the pool is usable stand-alone.
+    metrics:
+        Metrics registry to report into (``buffer.*`` counters and
+        gauges, ``latch.*`` timing shared by every frame latch).  A
+        private registry is created when omitted, so the pool is fully
+        instrumented stand-alone too.
     """
 
     def __init__(
@@ -73,6 +80,7 @@ class BufferPool:
         store: PageStore,
         capacity: int = 1024,
         wal_flush: Callable[[int], None] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if capacity < 1:
             raise BufferPoolError("buffer pool capacity must be >= 1")
@@ -84,9 +92,53 @@ class BufferPool:
         self._loading: dict[PageId, threading.Event] = {}
         self._writeback: dict[PageId, threading.Event] = {}
         self._tick = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self.metrics = metrics or MetricsRegistry()
+        # Hit/miss/eviction counts are plain ints, only ever incremented
+        # while ``self._mutex`` is held (the pool's long-standing
+        # invariant, asserted by
+        # tests/storage/test_buffer.py::test_counters_updated_under_pool_lock),
+        # so a bare ``+=`` is exact.  The registry reads them through
+        # ``buffer.*`` gauges evaluated only at snapshot time — a pin
+        # costs zero registry calls on the hot path.
+        self._n_hits = 0
+        self._n_misses = 0
+        self._n_evictions = 0
+        self._h_read_ns = self.metrics.histogram("buffer.io_read_ns")
+        self._h_write_ns = self.metrics.histogram("buffer.io_write_ns")
+        self._latch_timer = (
+            LatchTimer(self.metrics) if self.metrics.enabled else None
+        )
+        self.metrics.gauge("buffer.hits", lambda: self._n_hits)
+        self.metrics.gauge("buffer.misses", lambda: self._n_misses)
+        self.metrics.gauge("buffer.evictions", lambda: self._n_evictions)
+        self.metrics.gauge("buffer.resident", lambda: len(self._frames))
+        self.metrics.gauge(
+            "buffer.dirty", lambda: len(self.dirty_page_table())
+        )
+        self.metrics.gauge("buffer.hit_rate", self._hit_rate)
+
+    # ------------------------------------------------------------------
+    # backward-compatible counter views
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        """Pin requests satisfied from a resident frame."""
+        return self._n_hits
+
+    @property
+    def misses(self) -> int:
+        """Pin requests that had to read the page from disk."""
+        return self._n_misses
+
+    @property
+    def evictions(self) -> int:
+        """Frames evicted to make room."""
+        return self._n_evictions
+
+    def _hit_rate(self) -> float:
+        hits, misses = self._n_hits, self._n_misses
+        total = hits + misses
+        return round(hits / total, 4) if total else 0.0
 
     # ------------------------------------------------------------------
     # pin / unpin
@@ -106,7 +158,7 @@ class BufferPool:
                     frame.pin_count += 1
                     self._tick += 1
                     frame._clock = self._tick
-                    self.hits += 1
+                    self._n_hits += 1
                     return frame
                 if pid in self._writeback:
                     wait_for = self._writeback[pid]
@@ -115,14 +167,16 @@ class BufferPool:
                 else:
                     event = threading.Event()
                     self._loading[pid] = event
-                    self.misses += 1
+                    self._n_misses += 1
             if wait_for is not None:
                 wait_for.wait()
                 continue
             # We own the load for this pid.
             try:
+                t0 = perf_counter_ns()
                 page = self.store.read(pid)
-                frame = Frame(page)
+                self._h_read_ns.record(perf_counter_ns() - t0)
+                frame = Frame(page, self._latch_timer)
                 frame.pin_count = 1
                 with self._mutex:
                     self._make_room_locked()
@@ -147,7 +201,7 @@ class BufferPool:
     def new_frame(self, kind: PageKind, level: int = 0) -> Frame:
         """Allocate a brand-new page and return its frame, pinned once."""
         page = self.store.new_page(kind, level)
-        frame = Frame(page)
+        frame = Frame(page, self._latch_timer)
         frame.pin_count = 1
         with self._mutex:
             self._make_room_locked()
@@ -158,7 +212,7 @@ class BufferPool:
 
     def adopt(self, page: Page) -> Frame:
         """Install an externally built page image (recovery redo path)."""
-        frame = Frame(page)
+        frame = Frame(page, self._latch_timer)
         with self._mutex:
             if page.pid in self._frames:
                 raise BufferPoolError(f"page {page.pid} already resident")
@@ -204,7 +258,9 @@ class BufferPool:
             frame.dirty = False
             frame.rec_lsn = None
         self.wal_flush(snapshot.page_lsn)
+        t0 = perf_counter_ns()
         self.store.write(snapshot)
+        self._h_write_ns.record(perf_counter_ns() - t0)
 
     def flush_all(self) -> None:
         """Flush every dirty page (clean shutdown / checkpoint end)."""
@@ -274,12 +330,14 @@ class BufferPool:
                 self._mutex.release()
                 try:
                     self.wal_flush(snapshot.page_lsn)
+                    t0 = perf_counter_ns()
                     self.store.write(snapshot)
+                    self._h_write_ns.record(perf_counter_ns() - t0)
                 finally:
                     self._mutex.acquire()
                     self._writeback.pop(pid, None)
                     event.set()
-            self.evictions += 1
+            self._n_evictions += 1
 
     def _pick_victim_locked(self) -> tuple[PageId, Frame] | None:
         candidates = [

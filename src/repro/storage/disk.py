@@ -86,6 +86,19 @@ class PageStore:
         self._free_list: list[PageId] = []
         self._next_pid: PageId = 0
 
+    def bind_metrics(self, registry) -> None:
+        """Expose the I/O counters on a metrics registry as ``io.*``.
+
+        The store keeps its own :class:`IOStats` (it outlives any one
+        database across crash/restart cycles); binding registers gauges
+        reading them, so re-binding to a fresh registry after restart
+        keeps the cumulative disk-traffic history visible.
+        """
+        registry.gauge("io.reads", lambda: self.stats.reads)
+        registry.gauge("io.writes", lambda: self.stats.writes)
+        registry.gauge("io.allocations", lambda: self.stats.allocations)
+        registry.gauge("io.frees", lambda: self.stats.frees)
+
     # ------------------------------------------------------------------
     # allocation
     # ------------------------------------------------------------------

@@ -15,12 +15,23 @@ The latch deliberately refuses re-entrant acquisition: a thread asking for
 a latch it already holds is a protocol bug in the caller, and surfacing it
 immediately (as :class:`~repro.errors.LatchError`) is far more useful than
 silently self-deadlocking.
+
+Latches optionally report acquire-wait and hold times into a *timer* — any
+object exposing ``sample() -> bool``, ``wait_ns.record(ns)`` and
+``hold_ns.record(ns)`` (in practice
+:class:`repro.obs.metrics.LatchTimer`, shared across every frame latch of
+a buffer pool).  ``sample()`` is called once per acquisition attempt and
+decides whether that acquisition is timed — counting and timing are both
+batched inside the timer, so the untimed path costs one method call.
+With ``timer=None`` (the default, and the stand-alone configuration) no
+clock is read at all.
 """
 
 from __future__ import annotations
 
 import threading
 from enum import Enum
+from time import perf_counter_ns
 
 from repro.errors import LatchError
 
@@ -39,6 +50,11 @@ class SXLatch:
     ----------
     name:
         Optional diagnostic name (usually the page id the latch guards).
+    timer:
+        Optional metrics sink (see module docstring) recording wait and
+        hold times; ``None`` disables all timing.  The timer decides
+        per-acquisition whether to time it (``timer.sample()``) — the
+        acquisition counter is exact, the histograms are sampled.
     """
 
     __slots__ = (
@@ -48,9 +64,11 @@ class SXLatch:
         "_writer",
         "_waiting_writers",
         "_acquisitions",
+        "_timer",
+        "_acquired_at",
     )
 
-    def __init__(self, name: object = None) -> None:
+    def __init__(self, name: object = None, timer: object = None) -> None:
         self.name = name
         self._cond = threading.Condition()
         self._readers: set[int] = set()
@@ -58,6 +76,9 @@ class SXLatch:
         self._waiting_writers = 0
         #: total successful acquisitions, for instrumentation/benchmarks
         self._acquisitions = 0
+        self._timer = timer
+        #: per-holder grant timestamps (ns), only kept when timing
+        self._acquired_at: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # acquisition / release
@@ -70,6 +91,12 @@ class SXLatch:
         returns ``True``.
         """
         me = threading.get_ident()
+        timer = self._timer
+        # Timing is sampled (see LatchTimer.sample) — this is the
+        # hottest path in the system and unsampled clock reads alone
+        # cost several percent of total throughput.
+        sampled = timer is not None and timer.sample()
+        start = perf_counter_ns() if sampled else 0
         with self._cond:
             if self._writer == me or me in self._readers:
                 raise LatchError(
@@ -92,6 +119,10 @@ class SXLatch:
                     self._waiting_writers -= 1
                 self._writer = me
             self._acquisitions += 1
+            if sampled:
+                granted = perf_counter_ns()
+                timer.wait_ns.record(granted - start)
+                self._acquired_at[me] = granted
             return True
 
     def release(self) -> None:
@@ -106,6 +137,12 @@ class SXLatch:
                 raise LatchError(
                     f"thread {me} releasing latch {self.name!r} it does not hold"
                 )
+            if self._timer is not None:
+                granted_at = self._acquired_at.pop(me, None)
+                if granted_at is not None:
+                    self._timer.hold_ns.record(
+                        perf_counter_ns() - granted_at
+                    )
             self._cond.notify_all()
 
     def upgrade(self) -> bool:

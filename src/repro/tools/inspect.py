@@ -160,6 +160,54 @@ def format_stats(db: "Database") -> str:
     return "\n".join(lines)
 
 
+def dump_stats(db: "Database") -> str:
+    """Render ``db.metrics.snapshot()`` as aligned ASCII tables.
+
+    Scalar instruments (counters and gauges) land in one table, latency
+    histograms in another (values converted to microseconds).  Metric
+    names are the dotted contract names from README.md "Observability".
+    """
+    from repro.harness.report import render_table
+
+    snapshot = db.metrics.snapshot()
+    scalars: list[dict] = []
+    histograms: list[dict] = []
+
+    def walk(node: dict, prefix: str) -> None:
+        for key in sorted(node):
+            value = node[key]
+            name = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, dict):
+                if "p50" in value and "count" in value:
+                    histograms.append(
+                        {
+                            "histogram": name,
+                            "count": value["count"],
+                            "avg_us": value["avg"] / 1000.0,
+                            "p50_us": value["p50"] / 1000.0,
+                            "p95_us": value["p95"] / 1000.0,
+                            "p99_us": value["p99"] / 1000.0,
+                            "max_us": value["max"] / 1000.0,
+                        }
+                    )
+                else:
+                    walk(value, name)
+            else:
+                scalars.append({"metric": name, "value": value})
+
+    walk(snapshot, "")
+    parts = []
+    if scalars:
+        parts.append(render_table(scalars, title="metrics"))
+    if histograms:
+        parts.append(
+            render_table(histograms, title="latency histograms (us)")
+        )
+    if not parts:
+        return "metrics\n(no instruments registered)"
+    return "\n\n".join(parts)
+
+
 def lock_table_report(db: "Database") -> str:
     """Who holds what: one line per held lock name."""
     lines = ["lock table:"]

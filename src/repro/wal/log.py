@@ -17,20 +17,67 @@ modification (section 9.1).
 from __future__ import annotations
 
 import threading
+from time import perf_counter_ns
 from typing import Callable, Iterator
 
 from repro.errors import WALError
+from repro.obs.metrics import MetricsRegistry
 from repro.wal.records import NULL_LSN, DummyClr, LogRecord
 
 
 class LogStats:
-    """Counters the benchmarks read off the log manager."""
+    """Counters the benchmarks read off the log manager.
 
-    def __init__(self) -> None:
+    The ints are only ever mutated while the log mutex is held, so plain
+    ``+=`` is exact; a registry reads them through ``wal.*`` gauges
+    evaluated at snapshot time, making an append cost zero registry
+    calls on the hot path.  The flush-latency histogram stays a live
+    registry instrument (a flush is an I/O, the clock read drowns).
+    :meth:`bind` re-registers the gauges on a fresh registry — used when
+    a surviving log manager is adopted by a new :class:`Database` after
+    a crash — and since the totals live *here*, cumulative history is
+    preserved for free (the latency histogram starts empty).
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        #: mutated under the log mutex only
         self.appends = 0
         self.flushes = 0
         self.forced_records = 0
         self.group_commits = 0
+        self._registry: MetricsRegistry | None = None
+        self._bind(registry or MetricsRegistry())
+
+    def _bind(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+        registry.gauge("wal.appends", lambda: self.appends)
+        registry.gauge("wal.flushes", lambda: self.flushes)
+        registry.gauge("wal.forced_records", lambda: self.forced_records)
+        registry.gauge("wal.group_commits", lambda: self.group_commits)
+        self.flush_ns = registry.histogram("wal.flush_ns")
+
+    def bind(self, registry: MetricsRegistry) -> None:
+        """Re-register on ``registry``; totals carry over unchanged."""
+        if registry is self._registry:
+            return
+        self._bind(registry)
+
+    def note_append(self) -> None:
+        """Count one appended record (log mutex held)."""
+        self.appends += 1
+
+    def note_flush(self) -> None:
+        """Count one physical log force (log mutex held)."""
+        self.flushes += 1
+
+    def note_forced_record(self) -> None:
+        """Count one individually forced record (log mutex held)."""
+        self.forced_records += 1
+
+    def note_group_commit(self) -> None:
+        """Count one flush request absorbed by group commit (log mutex
+        held)."""
+        self.group_commits += 1
 
     def snapshot(self) -> dict[str, int]:
         """Thread-safe snapshot of the counters."""
@@ -45,11 +92,15 @@ class LogStats:
 class LogManager:
     """Append-only WAL with per-transaction backchains and NTAs."""
 
-    def __init__(self, flush_delay: float = 0.0) -> None:
+    def __init__(
+        self,
+        flush_delay: float = 0.0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         #: simulated latency of a log force (seconds); concurrent forces
         #: are coalesced (group commit), see :meth:`flush`
         self.flush_delay = flush_delay
-        self.stats = LogStats()
+        self.stats = LogStats(metrics)
         self._mutex = threading.Lock()
         self._records: list[LogRecord] = []
         self._flushed_lsn = NULL_LSN
@@ -74,7 +125,7 @@ class LogManager:
             record.prev_lsn = self._last_lsn_of.get(record.xid, NULL_LSN)
             self._last_lsn_of[record.xid] = lsn
             self._records.append(record)
-            self.stats.appends += 1
+            self.stats.note_append()
             return lsn
 
     def get(self, lsn: int) -> LogRecord:
@@ -125,7 +176,7 @@ class LogManager:
             while True:
                 if target <= self._flushed_lsn:
                     if rode_along:
-                        self.stats.group_commits += 1
+                        self.stats.note_group_commit()
                     return
                 if not self._force_in_flight:
                     break  # become the leader of the next group
@@ -136,15 +187,17 @@ class LogManager:
             self._force_in_flight = True
             cover = self._pending_cover
             self._pending_cover = NULL_LSN
+        t0 = perf_counter_ns()
         try:
             if self.flush_delay > 0.0:
                 threading.Event().wait(self.flush_delay)
         finally:
             with self._mutex:
                 self._flushed_lsn = max(self._flushed_lsn, cover)
-                self.stats.flushes += 1
+                self.stats.note_flush()
+                self.stats.flush_ns.record(perf_counter_ns() - t0)
                 if rode_along:
-                    self.stats.group_commits += 1
+                    self.stats.note_group_commit()
                 self._force_in_flight = False
                 self._flush_done.notify_all()
 
@@ -187,6 +240,15 @@ class LogManager:
         with self._mutex:
             self._last_lsn_of[xid] = lsn
 
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Re-home the ``wal.*`` counters onto ``registry``.
+
+        Called when a log manager that survived a crash is adopted by a
+        fresh :class:`~repro.database.Database`; counter totals carry
+        over so the WAL history stays cumulative across restarts.
+        """
+        self.stats.bind(registry)
+
     # ------------------------------------------------------------------
     # nested top actions (section 9.1)
     # ------------------------------------------------------------------
@@ -203,5 +265,6 @@ class LogManager:
         # Atomic actions are individually committed: force them so an
         # SMO whose pages reached disk can never lose its log suffix.
         self.flush(lsn)
-        self.stats.forced_records += 1
+        with self._mutex:
+            self.stats.note_forced_record()
         return lsn

@@ -2,10 +2,9 @@
 
 import threading
 
-from repro.database import Database
 from repro.errors import TransactionAbort
 from repro.ext.btree import BTreeExtension, Interval
-from repro.ext.rtree import Rect, RTreeExtension
+from repro.ext.rtree import Rect
 from repro.gist.checker import check_tree
 
 

@@ -1,8 +1,8 @@
 """The invariant checker itself must catch real corruption."""
 
-from repro.ext.btree import BTreeExtension, Interval
+from repro.ext.btree import Interval
 from repro.gist.checker import check_tree
-from repro.storage.page import InternalEntry, LeafEntry, NO_PAGE
+from repro.storage.page import LeafEntry
 from repro.sync.latch import LatchMode
 
 

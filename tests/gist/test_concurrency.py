@@ -3,8 +3,6 @@
 import random
 import threading
 
-import pytest
-
 from repro.database import Database
 from repro.errors import KeyNotFoundError, TransactionAbort
 from repro.ext.btree import BTreeExtension, Interval

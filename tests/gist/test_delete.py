@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import KeyNotFoundError
-from repro.ext.btree import BTreeExtension, Interval
+from repro.ext.btree import Interval
 from repro.lock.modes import LockMode
 from repro.sync.latch import LatchMode
 

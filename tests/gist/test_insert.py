@@ -1,6 +1,6 @@
 """Insertion (Figure 4): splits, BP propagation, NSN juggling."""
 
-from repro.ext.btree import BTreeExtension, Interval
+from repro.ext.btree import Interval
 from repro.gist.checker import check_tree
 from repro.lock.modes import LockMode
 from repro.storage.page import NO_PAGE

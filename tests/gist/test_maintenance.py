@@ -1,8 +1,6 @@
 """Garbage collection, BP shrinking, node deletion (sections 7.1–7.2)."""
 
-import pytest
-
-from repro.ext.btree import BTreeExtension, Interval
+from repro.ext.btree import Interval
 from repro.gist.checker import check_tree
 from repro.gist.maintenance import vacuum
 from repro.lock.modes import LockMode

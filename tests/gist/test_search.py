@@ -1,6 +1,6 @@
 """Search (Figure 3): correctness, predicate attachment, RID locking."""
 
-from repro.ext.btree import BTreeExtension, Interval
+from repro.ext.btree import Interval
 from repro.lock.modes import LockMode
 from repro.predicate.manager import PredicateKind
 from repro.txn.transaction import IsolationLevel

@@ -2,7 +2,7 @@
 
 from repro.baselines.simpletree import make_baseline
 from repro.database import Database
-from repro.ext.btree import BTreeExtension, Interval
+from repro.ext.btree import BTreeExtension
 from repro.harness.driver import (
     BaselineDriver,
     DriverMetrics,

@@ -1,7 +1,5 @@
 """Randomized double-read probes (the C3 harness, in miniature)."""
 
-import pytest
-
 from repro.harness.phantoms import run_phantom_campaign
 from repro.txn.transaction import IsolationLevel
 

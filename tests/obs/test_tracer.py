@@ -1,0 +1,109 @@
+"""Unit tests for the structured-event tracer (per-thread rings)."""
+
+import threading
+import time
+
+from repro.obs.tracer import Tracer
+
+
+class TestRecording:
+    def test_event_carries_data(self):
+        tracer = Tracer()
+        tracer.event("gist.split", tree="t", pid=7)
+        (event,) = tracer.events()
+        assert event.name == "gist.split"
+        assert event.dur_ns is None
+        assert event.data == {"tree": "t", "pid": 7}
+
+    def test_record_span_carries_duration(self):
+        tracer = Tracer()
+        tracer.record_span("op", 1234, tree="t")
+        (event,) = tracer.events()
+        assert event.dur_ns == 1234
+        assert event.data == {"tree": "t"}
+
+    def test_span_context_manager_times_its_body(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            time.sleep(0.002)
+        (event,) = tracer.events()
+        assert event.name == "work"
+        assert event.dur_ns >= 1_000_000  # at least 1ms of the 2ms sleep
+
+    def test_as_dict_shape(self):
+        tracer = Tracer()
+        tracer.record_span("op", 5, k="v")
+        d = tracer.events()[0].as_dict()
+        assert d["name"] == "op"
+        assert d["dur_ns"] == 5
+        assert d["data"] == {"k": "v"}
+        tracer.clear()
+        tracer.event("point")
+        d = tracer.events()[0].as_dict()
+        assert "dur_ns" not in d and "data" not in d
+
+
+class TestRingSemantics:
+    def test_ring_wraparound_keeps_last_capacity_events(self):
+        tracer = Tracer(capacity=8)
+        for i in range(20):
+            tracer.event(f"e{i}")
+        events = tracer.events()
+        assert len(events) == 8
+        assert [e.name for e in events] == [f"e{i}" for i in range(12, 20)]
+
+    def test_rings_are_per_thread_and_merge_time_ordered(self):
+        tracer = Tracer(capacity=4)
+
+        def record(tag):
+            for i in range(3):
+                tracer.event(f"{tag}{i}")
+
+        t = threading.Thread(target=record, args=("worker",))
+        record("main")
+        t.start()
+        t.join()
+        events = tracer.events()
+        assert len(events) == 6  # neither thread evicted the other's
+        assert len({e.thread_id for e in events}) == 2
+        assert [e.ts_ns for e in events] == sorted(e.ts_ns for e in events)
+
+    def test_one_thread_cannot_evict_anothers_events(self):
+        tracer = Tracer(capacity=4)
+        tracer.event("keep")
+
+        def flood():
+            for i in range(100):
+                tracer.event(f"flood{i}")
+
+        t = threading.Thread(target=flood)
+        t.start()
+        t.join()
+        names = [e.name for e in tracer.events()]
+        assert "keep" in names
+        assert len(names) == 5  # 1 + the flooder's last 4
+
+    def test_name_filter(self):
+        tracer = Tracer()
+        tracer.event("a")
+        tracer.event("b")
+        tracer.event("a")
+        assert len(tracer.events(name="a")) == 2
+
+    def test_clear_keeps_rings_registered(self):
+        tracer = Tracer()
+        tracer.event("x")
+        tracer.clear()
+        assert len(tracer) == 0
+        tracer.event("y")
+        assert len(tracer) == 1
+
+
+class TestDisabled:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.event("e")
+        tracer.record_span("s", 1)
+        with tracer.span("body"):
+            pass
+        assert tracer.events() == []

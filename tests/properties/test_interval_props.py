@@ -1,6 +1,6 @@
 """Property-based tests of the B-tree extension's interval algebra."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.ext.btree import BTreeExtension, Interval, as_interval

@@ -13,7 +13,6 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.database import Database
-from repro.errors import KeyNotFoundError
 from repro.ext.btree import BTreeExtension, Interval
 from repro.gist.checker import check_tree
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.ext.rtree import RTreeExtension
 from repro.harness.crash import CrashRecoveryHarness
 
 

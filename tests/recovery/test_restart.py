@@ -81,8 +81,7 @@ class TestRedo:
         tree.insert(txn2, 2, "r2")
         # commit txn2 but sabotage the force: truncate the flush by
         # crashing with only the first commit flushed
-        flushed_upto = db.log.flushed_lsn
-        tree_record_lsn = db.log.append(
+        db.log.append(
             __import__(
                 "repro.wal.records", fromlist=["CommitRecord"]
             ).CommitRecord(xid=txn2.xid)

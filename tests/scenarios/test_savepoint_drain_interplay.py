@@ -16,7 +16,6 @@ from __future__ import annotations
 from repro.database import Database
 from repro.ext.btree import BTreeExtension, Interval
 from repro.gist.maintenance import vacuum
-from repro.lock.modes import LockMode
 
 
 def build():

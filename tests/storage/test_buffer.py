@@ -165,6 +165,47 @@ class TestCrash:
 
 
 class TestConcurrentPin:
+    def test_counters_updated_under_pool_lock(self):
+        """The hit/miss counters are plain ints whose mutation happens
+        while the pool mutex is held (the invariant buffer.py's comment
+        points at this test for).  Exactness under a pin race is the
+        observable consequence: if any increment ran outside the mutex,
+        this count would eventually come up short."""
+        store, pool = make_pool(capacity=16)
+        pids = []
+        for n in range(8):
+            frame = pool.new_frame(PageKind.LEAF)
+            frame.mark_dirty(n + 1)  # so flush_page really writes
+            pids.append(frame.page.pid)
+            pool.unpin(frame.page.pid)
+        # drop half so the race mixes hits and misses
+        for pid in pids[4:]:
+            pool.flush_page(pid)
+            pool.drop(pid)
+        base_hits, base_misses = pool.hits, pool.misses
+        per_thread = 200
+        barrier = threading.Barrier(8)
+
+        def pinner(seed):
+            barrier.wait()
+            for i in range(per_thread):
+                pid = pids[(seed + i) % len(pids)]
+                pool.pin(pid)
+                pool.unpin(pid)
+
+        threads = [
+            threading.Thread(target=pinner, args=(n,)) for n in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = 8 * per_thread
+        hits = pool.hits - base_hits
+        misses = pool.misses - base_misses
+        assert hits + misses == total  # nothing lost to the race
+        assert hits > 0 and misses > 0
+
     def test_concurrent_miss_coalesces(self):
         store, pool = make_pool(capacity=8, io_delay=0.01)
         frame = pool.new_frame(PageKind.LEAF)

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import PageNotFoundError
 from repro.storage.disk import PageStore
-from repro.storage.page import LeafEntry, Page, PageKind
+from repro.storage.page import LeafEntry, PageKind
 
 
 class TestAllocation:

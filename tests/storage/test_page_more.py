@@ -1,7 +1,5 @@
 """Additional page-model coverage: iteration, capacity, kinds."""
 
-import pytest
-
 from repro.storage.page import (
     NO_PAGE,
     InternalEntry,

@@ -27,7 +27,10 @@ class TestHooks:
     def test_remove_and_clear(self):
         hooks = Hooks()
         got = []
-        fn = lambda **ctx: got.append(1)
+
+        def fn(**ctx):
+            got.append(1)
+
         hooks.on("p", fn)
         hooks.remove("p", fn)
         hooks.fire("p")

@@ -29,7 +29,6 @@ class TestBasicModes:
     def test_writer_excludes_reader(self):
         latch = SXLatch()
         latch.acquire(LatchMode.X)
-        other = threading.Thread(target=lambda: None)
         assert latch.held_by_me() == LatchMode.X
         got = []
 

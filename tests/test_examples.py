@@ -33,6 +33,10 @@ def test_example_runs_clean(name):
         f"{name} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
     )
     assert result.stdout.strip()  # examples narrate what they did
+    if name in ("quickstart.py", "wal_tour.py"):
+        # these close with a dump_stats() section over db.metrics
+        assert "dump_stats" in result.stdout
+        assert "wal.appends" in result.stdout
 
 
 def test_protocol_comparison_measure_function():

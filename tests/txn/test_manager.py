@@ -2,13 +2,12 @@
 
 import pytest
 
-from repro.database import Database
 from repro.errors import TransactionStateError
 from repro.ext.btree import BTreeExtension, Interval
 from repro.lock.modes import LockMode
 from repro.txn.manager import txn_lock_name
 from repro.txn.transaction import IsolationLevel, TxnState
-from repro.wal.records import AbortRecord, CommitRecord, EndRecord
+from repro.wal.records import CommitRecord, EndRecord
 
 
 class TestLifecycle:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import WALError
 from repro.wal.log import LogManager
-from repro.wal.records import NULL_LSN, CommitRecord, DummyClr, EndRecord
+from repro.wal.records import NULL_LSN, CommitRecord, DummyClr
 
 
 def rec(xid: int) -> CommitRecord:

@@ -19,19 +19,7 @@ from repro.database import Database
 from repro.ext.btree import BTreeExtension, Interval
 from repro.gist.checker import check_tree
 from repro.gist.maintenance import vacuum
-from repro.wal.records import (
-    AddLeafEntryRecord,
-    FreePageRecord,
-    GarbageCollectionRecord,
-    GetPageRecord,
-    InternalEntryAddRecord,
-    InternalEntryDeleteRecord,
-    InternalEntryUpdateRecord,
-    MarkLeafEntryRecord,
-    ParentEntryUpdateRecord,
-    RightlinkUpdateRecord,
-    SplitRecord,
-)
+from repro.wal.records import AddLeafEntryRecord, GarbageCollectionRecord
 
 
 def build_db():
