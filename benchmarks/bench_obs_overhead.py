@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import cProfile
 import gc
+import os
 import statistics
 
 from repro.database import Database
@@ -37,14 +38,17 @@ from repro.ext.btree import BTreeExtension
 from repro.harness.driver import TransactionalDriver
 from repro.workload.generator import MixSpec, ScalarWorkload
 
+#: CI smoke mode — smaller workload, same deterministic gates
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+
 IO_DELAY = 0.0005
 POOL = 40
-PRELOAD = 800
-OPS = 400
+PRELOAD = 200 if QUICK else 800
+OPS = 100 if QUICK else 400
 THREADS = 8
-ROUNDS = 5
+ROUNDS = 1 if QUICK else 5
 #: ops for the deterministic single-thread call-count probe
-PROBE_OPS = 2000
+PROBE_OPS = 500 if QUICK else 2000
 
 
 def _build(metrics_enabled: bool, io_delay: float):

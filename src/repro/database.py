@@ -88,8 +88,13 @@ class Database:
         store: PageStore | None = None,
         log: LogManager | None = None,
         metrics_enabled: bool = True,
+        pool_shards: int = 8,
+        leaf_hints: bool = False,
     ) -> None:
         self.metrics = MetricsRegistry(enabled=metrics_enabled)
+        self.pool_shards = pool_shards
+        #: opt-in leaf-hint descent cache, read by each GiST at creation
+        self.leaf_hints = leaf_hints
         self.store = store or PageStore(
             io_delay=io_delay, page_capacity=page_capacity
         )
@@ -108,6 +113,7 @@ class Database:
             capacity=pool_capacity,
             wal_flush=self.log.flush,
             metrics=self.metrics,
+            shards=pool_shards,
         )
         self.locks = LockManager(
             default_timeout=lock_timeout, metrics=self.metrics
@@ -248,6 +254,8 @@ class Database:
 
         config.setdefault("page_capacity", self.store.page_capacity)
         config.setdefault("metrics_enabled", self.metrics.enabled)
+        config.setdefault("pool_shards", self.pool_shards)
+        config.setdefault("leaf_hints", self.leaf_hints)
         new_db = Database(store=self.store, log=self.log, **config)
         RestartRecovery(new_db, extensions).run()
         return new_db
@@ -325,6 +333,10 @@ class Database:
             self.store.mark_free(record.page_id)
             if self.pool.resident(record.page_id):
                 self.pool.drop(record.page_id)
+            # The freed pid may be reused by a later allocation: no leaf
+            # hint anywhere may keep pointing at it.
+            for tree in self.trees.values():
+                tree.bump_hint_epoch()
         elif isinstance(record, FreePageRecord):
             clr = GetPageRecord(xid=xid, page_id=record.page_id)
             clr.undo_next = record.prev_lsn

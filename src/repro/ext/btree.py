@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.gist.extension import GiSTExtension
+from repro.storage.page import register_immutable_type
 
 
 @dataclass(frozen=True)
@@ -141,8 +142,25 @@ class BTreeExtension(GiSTExtension):
         """Exact-match predicate for a key (contract: :meth:`GiSTExtension.eq_query`)."""
         return as_interval(key)
 
+    def hint_point_query(self, query: object) -> bool:
+        """Point intervals and scalar keys may replay a hinted leaf."""
+        try:
+            interval = as_interval(query)
+        except (TypeError, ValueError):
+            return False
+        return (
+            interval.lo == interval.hi
+            and interval.lo_incl
+            and interval.hi_incl
+        )
+
     def organize(self, preds: Sequence[object]) -> list[int]:
         """Sorted intra-node layout (contract: :meth:`GiSTExtension.organize`)."""
         return sorted(
             range(len(preds)), key=lambda i: as_interval(preds[i]).lo
         )
+
+
+# Interval is a frozen dataclass over ordered scalars: page snapshots may
+# share instances instead of deep-copying them on every flush/eviction.
+register_immutable_type(Interval)

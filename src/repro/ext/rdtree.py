@@ -17,6 +17,7 @@ from typing import Sequence
 
 from repro.errors import ExtensionError
 from repro.gist.extension import GiSTExtension
+from repro.storage.page import register_immutable_type
 
 
 def as_key_set(pred: object) -> frozenset:
@@ -109,3 +110,8 @@ class RDTreeExtension(GiSTExtension):
         # the leaf.
         """Exact-match predicate for a key (contract: :meth:`GiSTExtension.eq_query`)."""
         return as_key_set(key)
+
+
+# Normalized RD-tree keys/BPs are frozensets of hashables: snapshots may
+# share instances instead of deep-copying them on every flush/eviction.
+register_immutable_type(frozenset)

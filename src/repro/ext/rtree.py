@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.gist.extension import GiSTExtension
+from repro.storage.page import register_immutable_type
 
 
 @dataclass(frozen=True)
@@ -148,3 +149,8 @@ class RTreeExtension(GiSTExtension):
         # of equality, so navigation can never miss the exact key).
         """Exact-match predicate for a key (contract: :meth:`GiSTExtension.eq_query`)."""
         return key
+
+
+# Rect is a frozen dataclass of floats: page snapshots may share
+# instances instead of deep-copying them on every flush/eviction.
+register_immutable_type(Rect)

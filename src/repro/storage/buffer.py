@@ -7,6 +7,18 @@ any tree latch held**, per the protocol), and dirty pages are written back
 under the write-ahead-logging rule — the log is flushed up to the page's
 LSN before the page image reaches disk.
 
+The frame table is hash-partitioned into ``shards`` independent shards,
+each with its own mutex, frame map, load/writeback coalescing events and
+clock hand, so concurrent pins of *different* pages never contend on a
+shared lock.  A pin of a resident page touches exactly one lock: its own
+shard's (``tests/storage/test_buffer_shards.py`` asserts this via the
+per-shard acquisition counters).  Capacity stays a *global* budget,
+tracked by a dedicated counter lock that the resident-hit path never
+takes; eviction sweeps shards round-robin starting from the shard that
+needs the slot.  Victim selection within a shard is an amortized
+second-chance clock rather than a full scan, so eviction cost no longer
+grows with pool capacity.
+
 Crash simulation (:meth:`BufferPool.crash`) simply discards every frame:
 whatever the WAL rule forced to disk is all that survives, which is
 exactly the state restart recovery (section 9) must cope with.
@@ -29,7 +41,7 @@ from repro.sync.latch import LatchMode, SXLatch
 class Frame:
     """A buffer frame: one cached page plus its pin count and latch."""
 
-    __slots__ = ("page", "pin_count", "dirty", "rec_lsn", "latch", "_clock")
+    __slots__ = ("page", "pin_count", "dirty", "rec_lsn", "latch", "ref")
 
     def __init__(self, page: Page, latch_timer: object = None) -> None:
         self.page = page
@@ -39,7 +51,8 @@ class Frame:
         #: flush — the recLSN that goes into the dirty page table.
         self.rec_lsn: int | None = None
         self.latch = SXLatch(name=page.pid, timer=latch_timer)
-        self._clock = 0
+        #: second-chance reference bit, owned by the frame's shard.
+        self.ref = False
 
     def mark_dirty(self, lsn: int) -> None:
         """Record that a log record with ``lsn`` modified this page."""
@@ -47,6 +60,98 @@ class Frame:
             self.dirty = True
             self.rec_lsn = lsn
         self.page.page_lsn = max(self.page.page_lsn, lsn)
+
+
+class _Shard:
+    """One partition of the frame table.
+
+    Every field is protected by ``lock`` — including the plain-int
+    counters, whose mutation-only-under-the-shard-lock invariant is what
+    keeps them exact without atomics (asserted by
+    tests/storage/test_buffer.py::test_counters_updated_under_pool_lock
+    and the shard-sum test in tests/storage/test_buffer_shards.py).
+    ``lock_acquisitions`` counts every acquisition of ``lock``; the
+    hot-path benchmark uses it to prove a resident pin touches only its
+    own shard.
+    """
+
+    __slots__ = (
+        "lock",
+        "frames",
+        "loading",
+        "writeback",
+        "ring",
+        "hand",
+        "hits",
+        "misses",
+        "evictions",
+        "lock_acquisitions",
+    )
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.frames: dict[PageId, Frame] = {}
+        self.loading: dict[PageId, threading.Event] = {}
+        self.writeback: dict[PageId, threading.Event] = {}
+        #: clock ring of page ids, swept by ``hand``.  Slots go stale
+        #: when their page is evicted or dropped and are reaped lazily.
+        self.ring: list[PageId] = []
+        self.hand = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.lock_acquisitions = 0
+
+    # -- all methods below are called with ``self.lock`` held ----------
+    def insert(self, frame: Frame) -> None:
+        pid = frame.page.pid
+        self.frames[pid] = frame
+        frame.ref = True
+        self.ring.append(pid)
+        if len(self.ring) > 2 * len(self.frames) + 8:
+            self._compact_ring()
+
+    def _compact_ring(self) -> None:
+        """Drop stale/duplicate ring slots, preserving clock order."""
+        seen: set[PageId] = set()
+        fresh: list[PageId] = []
+        hand = min(self.hand, len(self.ring))
+        for pid in self.ring[hand:] + self.ring[:hand]:
+            if pid in self.frames and pid not in seen:
+                seen.add(pid)
+                fresh.append(pid)
+        self.ring = fresh
+        self.hand = 0
+
+    def pick_victim(self) -> tuple[PageId, Frame] | None:
+        """Advance the second-chance clock to an evictable frame.
+
+        Amortized O(1): each sweep step either reaps a stale slot or
+        spends a frame's reference bit; at most two full passes run
+        before giving up (everything pinned or latched).
+        """
+        ring = self.ring
+        examined = 0
+        limit = 2 * len(ring)
+        while ring and examined <= limit:
+            if self.hand >= len(ring):
+                self.hand = 0
+            pid = ring[self.hand]
+            frame = self.frames.get(pid)
+            if frame is None:
+                ring.pop(self.hand)  # stale: evicted or dropped earlier
+                continue
+            examined += 1
+            if frame.pin_count == 0 and not frame.latch.holders():
+                if frame.ref:
+                    frame.ref = False
+                    self.hand += 1
+                else:
+                    ring.pop(self.hand)
+                    return pid, frame
+            else:
+                self.hand += 1
+        return None
 
 
 class BufferPool:
@@ -57,12 +162,13 @@ class BufferPool:
     store:
         The backing page store.
     capacity:
-        Maximum number of resident frames.  Must comfortably exceed the
-        largest working set a single operation pins at once — a
-        recursive split cascade latches roughly two frames per tree
-        level — so a few dozen frames is the practical floor for deep
-        trees (the pool raises :class:`BufferPoolError` rather than
-        deadlocking when it cannot make room).
+        Maximum number of resident frames, pool-wide (shards share one
+        budget).  Must comfortably exceed the largest working set a
+        single operation pins at once — a recursive split cascade
+        latches roughly two frames per tree level — so a few dozen
+        frames is the practical floor for deep trees (the pool raises
+        :class:`BufferPoolError` rather than deadlocking when it cannot
+        make room).
     wal_flush:
         Callable invoked as ``wal_flush(lsn)`` before any dirty page with
         ``page_lsn == lsn`` is written to disk.  Wired to
@@ -73,6 +179,10 @@ class BufferPool:
         gauges, ``latch.*`` timing shared by every frame latch).  A
         private registry is created when omitted, so the pool is fully
         instrumented stand-alone too.
+    shards:
+        Number of hash partitions of the frame table.  1 (the default)
+        degenerates to a single-mutex pool; the database assembly
+        passes its ``pool_shards`` knob here.
     """
 
     def __init__(
@@ -81,64 +191,175 @@ class BufferPool:
         capacity: int = 1024,
         wal_flush: Callable[[int], None] | None = None,
         metrics: MetricsRegistry | None = None,
+        shards: int = 1,
     ) -> None:
         if capacity < 1:
             raise BufferPoolError("buffer pool capacity must be >= 1")
+        if shards < 1:
+            raise BufferPoolError("buffer pool shard count must be >= 1")
         self.store = store
         self.capacity = capacity
         self.wal_flush = wal_flush or (lambda lsn: None)
-        self._mutex = threading.Lock()
-        self._frames: dict[PageId, Frame] = {}
-        self._loading: dict[PageId, threading.Event] = {}
-        self._writeback: dict[PageId, threading.Event] = {}
-        self._tick = 0
+        self._shards = [_Shard() for _ in range(shards)]
+        self._n_shards = shards
+        # Global capacity budget.  ``_cap_lock`` is never held together
+        # with a shard lock, and the resident-hit pin path never touches
+        # it — only slot reservation (miss/new/adopt) and eviction do.
+        self._cap_lock = threading.Lock()
+        self._n_resident = 0
         self.metrics = metrics or MetricsRegistry()
-        # Hit/miss/eviction counts are plain ints, only ever incremented
-        # while ``self._mutex`` is held (the pool's long-standing
-        # invariant, asserted by
-        # tests/storage/test_buffer.py::test_counters_updated_under_pool_lock),
-        # so a bare ``+=`` is exact.  The registry reads them through
-        # ``buffer.*`` gauges evaluated only at snapshot time — a pin
-        # costs zero registry calls on the hot path.
-        self._n_hits = 0
-        self._n_misses = 0
-        self._n_evictions = 0
         self._h_read_ns = self.metrics.histogram("buffer.io_read_ns")
         self._h_write_ns = self.metrics.histogram("buffer.io_write_ns")
         self._latch_timer = (
             LatchTimer(self.metrics) if self.metrics.enabled else None
         )
-        self.metrics.gauge("buffer.hits", lambda: self._n_hits)
-        self.metrics.gauge("buffer.misses", lambda: self._n_misses)
-        self.metrics.gauge("buffer.evictions", lambda: self._n_evictions)
-        self.metrics.gauge("buffer.resident", lambda: len(self._frames))
+        # Aggregate gauges keep their pre-sharding names; per-shard
+        # breakdowns live under ``buffer.shard.*``.  All are evaluated
+        # only at snapshot time — a pin costs zero registry calls.
+        self.metrics.gauge("buffer.hits", lambda: self.hits)
+        self.metrics.gauge("buffer.misses", lambda: self.misses)
+        self.metrics.gauge("buffer.evictions", lambda: self.evictions)
+        self.metrics.gauge(
+            "buffer.resident",
+            lambda: sum(len(s.frames) for s in self._shards),
+        )
         self.metrics.gauge(
             "buffer.dirty", lambda: len(self.dirty_page_table())
         )
         self.metrics.gauge("buffer.hit_rate", self._hit_rate)
+        self.metrics.gauge("buffer.shard.count", lambda: self._n_shards)
+        for idx, shard in enumerate(self._shards):
+            self.metrics.gauge(
+                f"buffer.shard.{idx}.hits", lambda s=shard: s.hits
+            )
+            self.metrics.gauge(
+                f"buffer.shard.{idx}.misses", lambda s=shard: s.misses
+            )
+            self.metrics.gauge(
+                f"buffer.shard.{idx}.evictions", lambda s=shard: s.evictions
+            )
+            self.metrics.gauge(
+                f"buffer.shard.{idx}.resident", lambda s=shard: len(s.frames)
+            )
+            self.metrics.gauge(
+                f"buffer.shard.{idx}.lock_acquisitions",
+                lambda s=shard: s.lock_acquisitions,
+            )
+
+    # ------------------------------------------------------------------
+    # sharding helpers
+    # ------------------------------------------------------------------
+    def shard_of(self, pid: PageId) -> int:
+        """Index of the shard responsible for ``pid``."""
+        return pid % self._n_shards
+
+    def _shard(self, pid: PageId) -> _Shard:
+        return self._shards[pid % self._n_shards]
+
+    @contextmanager
+    def _locked(self, shard: _Shard) -> Iterator[None]:
+        """Acquire a shard's mutex, counting the acquisition."""
+        with shard.lock:
+            shard.lock_acquisitions += 1
+            yield
+
+    def shard_metrics(self) -> list[dict[str, int]]:
+        """Per-shard counter snapshot (tests and the hotpath bench)."""
+        out = []
+        for shard in self._shards:
+            with self._locked(shard):
+                out.append(
+                    {
+                        "hits": shard.hits,
+                        "misses": shard.misses,
+                        "evictions": shard.evictions,
+                        "resident": len(shard.frames),
+                        "lock_acquisitions": shard.lock_acquisitions,
+                    }
+                )
+        return out
 
     # ------------------------------------------------------------------
     # backward-compatible counter views
     # ------------------------------------------------------------------
     @property
     def hits(self) -> int:
-        """Pin requests satisfied from a resident frame."""
-        return self._n_hits
+        """Pin requests satisfied from a resident frame (all shards)."""
+        return sum(s.hits for s in self._shards)
 
     @property
     def misses(self) -> int:
-        """Pin requests that had to read the page from disk."""
-        return self._n_misses
+        """Pin requests that had to read the page from disk (all shards)."""
+        return sum(s.misses for s in self._shards)
 
     @property
     def evictions(self) -> int:
-        """Frames evicted to make room."""
-        return self._n_evictions
+        """Frames evicted to make room (all shards)."""
+        return sum(s.evictions for s in self._shards)
 
     def _hit_rate(self) -> float:
-        hits, misses = self._n_hits, self._n_misses
+        hits, misses = self.hits, self.misses
         total = hits + misses
         return round(hits / total, 4) if total else 0.0
+
+    # ------------------------------------------------------------------
+    # capacity budget
+    # ------------------------------------------------------------------
+    def _reserve_slot(self, home: int) -> None:
+        """Claim one resident-frame slot, evicting if the pool is full.
+
+        Eviction sweeps shards round-robin starting at ``home`` so the
+        shard that needs the slot preferentially recycles its own
+        frames.  Raises :class:`BufferPoolError` when a full sweep finds
+        every frame pinned or latched.
+        """
+        while True:
+            with self._cap_lock:
+                if self._n_resident < self.capacity:
+                    self._n_resident += 1
+                    return
+            if not self._evict_one(home):
+                raise BufferPoolError(
+                    "buffer pool full and every frame is pinned"
+                )
+
+    def _release_slot(self) -> None:
+        with self._cap_lock:
+            self._n_resident -= 1
+
+    def _evict_one(self, home: int) -> bool:
+        """Evict one frame from the first shard that has a victim."""
+        for step in range(self._n_shards):
+            shard = self._shards[(home + step) % self._n_shards]
+            event: threading.Event | None = None
+            snapshot: Page | None = None
+            with self._locked(shard):
+                victim = shard.pick_victim()
+                if victim is None:
+                    continue
+                pid, frame = victim
+                del shard.frames[pid]
+                shard.evictions += 1
+                if frame.dirty:
+                    # Publish the writeback before releasing the shard
+                    # lock so a concurrent pin of this pid waits for the
+                    # disk image instead of reading a stale one.
+                    event = threading.Event()
+                    shard.writeback[pid] = event
+                    snapshot = frame.page.snapshot()
+            if event is not None and snapshot is not None:
+                try:
+                    self.wal_flush(snapshot.page_lsn)
+                    t0 = perf_counter_ns()
+                    self.store.write(snapshot)
+                    self._h_write_ns.record(perf_counter_ns() - t0)
+                finally:
+                    with self._locked(shard):
+                        shard.writeback.pop(pid, None)
+                    event.set()
+            self._release_slot()
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # pin / unpin
@@ -146,28 +367,29 @@ class BufferPool:
     def pin(self, pid: PageId) -> Frame:
         """Pin ``pid``, fetching it from disk on a miss.
 
-        The disk read (the slow part) happens with **no pool mutex and no
+        The disk read (the slow part) happens with **no pool lock and no
         latch held**; concurrent pinners of the same page coalesce onto a
-        single read.
+        single read.  A hit on a resident page acquires exactly one
+        lock: the page's own shard mutex.
         """
+        shard = self._shard(pid)
         while True:
             wait_for: threading.Event | None = None
-            with self._mutex:
-                frame = self._frames.get(pid)
+            with self._locked(shard):
+                frame = shard.frames.get(pid)
                 if frame is not None:
                     frame.pin_count += 1
-                    self._tick += 1
-                    frame._clock = self._tick
-                    self._n_hits += 1
+                    frame.ref = True
+                    shard.hits += 1
                     return frame
-                if pid in self._writeback:
-                    wait_for = self._writeback[pid]
-                elif pid in self._loading:
-                    wait_for = self._loading[pid]
+                if pid in shard.writeback:
+                    wait_for = shard.writeback[pid]
+                elif pid in shard.loading:
+                    wait_for = shard.loading[pid]
                 else:
                     event = threading.Event()
-                    self._loading[pid] = event
-                    self._n_misses += 1
+                    shard.loading[pid] = event
+                    shard.misses += 1
             if wait_for is not None:
                 wait_for.wait()
                 continue
@@ -178,22 +400,21 @@ class BufferPool:
                 self._h_read_ns.record(perf_counter_ns() - t0)
                 frame = Frame(page, self._latch_timer)
                 frame.pin_count = 1
-                with self._mutex:
-                    self._make_room_locked()
-                    self._frames[pid] = frame
-                    self._tick += 1
-                    frame._clock = self._tick
+                self._reserve_slot(self.shard_of(pid))
+                with self._locked(shard):
+                    shard.insert(frame)
                 return frame
             finally:
-                with self._mutex:
-                    event = self._loading.pop(pid, None)
+                with self._locked(shard):
+                    event = shard.loading.pop(pid, None)
                 if event is not None:
                     event.set()
 
     def unpin(self, pid: PageId) -> None:
         """Drop one pin on ``pid``."""
-        with self._mutex:
-            frame = self._frames.get(pid)
+        shard = self._shard(pid)
+        with self._locked(shard):
+            frame = shard.frames.get(pid)
             if frame is None or frame.pin_count <= 0:
                 raise BufferPoolError(f"unpin of page {pid} that is not pinned")
             frame.pin_count -= 1
@@ -203,23 +424,25 @@ class BufferPool:
         page = self.store.new_page(kind, level)
         frame = Frame(page, self._latch_timer)
         frame.pin_count = 1
-        with self._mutex:
-            self._make_room_locked()
-            self._frames[page.pid] = frame
-            self._tick += 1
-            frame._clock = self._tick
+        shard = self._shard(page.pid)
+        self._reserve_slot(self.shard_of(page.pid))
+        with self._locked(shard):
+            shard.insert(frame)
         return frame
 
     def adopt(self, page: Page) -> Frame:
         """Install an externally built page image (recovery redo path)."""
         frame = Frame(page, self._latch_timer)
-        with self._mutex:
-            if page.pid in self._frames:
+        shard = self._shard(page.pid)
+        with self._locked(shard):
+            if page.pid in shard.frames:
                 raise BufferPoolError(f"page {page.pid} already resident")
-            self._make_room_locked()
-            self._frames[page.pid] = frame
-            self._tick += 1
-            frame._clock = self._tick
+        self._reserve_slot(self.shard_of(page.pid))
+        with self._locked(shard):
+            if page.pid in shard.frames:
+                self._release_slot()
+                raise BufferPoolError(f"page {page.pid} already resident")
+            shard.insert(frame)
         return frame
 
     # ------------------------------------------------------------------
@@ -250,8 +473,9 @@ class BufferPool:
     # ------------------------------------------------------------------
     def flush_page(self, pid: PageId) -> None:
         """Write one dirty page to disk under the WAL rule."""
-        with self._mutex:
-            frame = self._frames.get(pid)
+        shard = self._shard(pid)
+        with self._locked(shard):
+            frame = shard.frames.get(pid)
             if frame is None or not frame.dirty:
                 return
             snapshot = frame.page.snapshot()
@@ -264,19 +488,24 @@ class BufferPool:
 
     def flush_all(self) -> None:
         """Flush every dirty page (clean shutdown / checkpoint end)."""
-        with self._mutex:
-            dirty = [pid for pid, f in self._frames.items() if f.dirty]
+        dirty: list[PageId] = []
+        for shard in self._shards:
+            with self._locked(shard):
+                dirty.extend(
+                    pid for pid, f in shard.frames.items() if f.dirty
+                )
         for pid in dirty:
             self.flush_page(pid)
 
     def dirty_page_table(self) -> dict[PageId, int]:
         """``{pid: recLSN}`` for every dirty page (checkpointing)."""
-        with self._mutex:
-            return {
-                pid: frame.rec_lsn
-                for pid, frame in self._frames.items()
-                if frame.dirty and frame.rec_lsn is not None
-            }
+        table: dict[PageId, int] = {}
+        for shard in self._shards:
+            with self._locked(shard):
+                for pid, frame in shard.frames.items():
+                    if frame.dirty and frame.rec_lsn is not None:
+                        table[pid] = frame.rec_lsn
+        return table
 
     # ------------------------------------------------------------------
     # crash simulation
@@ -287,65 +516,34 @@ class BufferPool:
         Nothing is flushed; only page images the WAL rule already forced
         to disk survive.  The caller must have quiesced worker threads.
         """
-        with self._mutex:
-            self._frames.clear()
-            for event in self._loading.values():
-                event.set()
-            self._loading.clear()
-            for event in self._writeback.values():
-                event.set()
-            self._writeback.clear()
+        for shard in self._shards:
+            with self._locked(shard):
+                shard.frames.clear()
+                shard.ring.clear()
+                shard.hand = 0
+                for event in shard.loading.values():
+                    event.set()
+                shard.loading.clear()
+                for event in shard.writeback.values():
+                    event.set()
+                shard.writeback.clear()
+        with self._cap_lock:
+            self._n_resident = 0
 
     def resident(self, pid: PageId) -> bool:
         """True if the page currently has a frame in the pool."""
-        with self._mutex:
-            return pid in self._frames
+        shard = self._shard(pid)
+        with self._locked(shard):
+            return pid in shard.frames
 
     def drop(self, pid: PageId) -> None:
         """Discard a (clean, unpinned) frame, e.g. after freeing a node."""
-        with self._mutex:
-            frame = self._frames.get(pid)
+        shard = self._shard(pid)
+        with self._locked(shard):
+            frame = shard.frames.get(pid)
             if frame is None:
                 return
             if frame.pin_count > 0:
                 raise BufferPoolError(f"dropping pinned page {pid}")
-            del self._frames[pid]
-
-    # ------------------------------------------------------------------
-    # eviction (callers hold self._mutex)
-    # ------------------------------------------------------------------
-    def _make_room_locked(self) -> None:
-        while len(self._frames) >= self.capacity:
-            victim = self._pick_victim_locked()
-            if victim is None:
-                raise BufferPoolError(
-                    "buffer pool full and every frame is pinned"
-                )
-            pid, frame = victim
-            del self._frames[pid]
-            if frame.dirty:
-                event = threading.Event()
-                self._writeback[pid] = event
-                snapshot = frame.page.snapshot()
-                self._mutex.release()
-                try:
-                    self.wal_flush(snapshot.page_lsn)
-                    t0 = perf_counter_ns()
-                    self.store.write(snapshot)
-                    self._h_write_ns.record(perf_counter_ns() - t0)
-                finally:
-                    self._mutex.acquire()
-                    self._writeback.pop(pid, None)
-                    event.set()
-            self._n_evictions += 1
-
-    def _pick_victim_locked(self) -> tuple[PageId, Frame] | None:
-        candidates = [
-            (frame._clock, pid, frame)
-            for pid, frame in self._frames.items()
-            if frame.pin_count == 0 and not frame.latch.holders()
-        ]
-        if not candidates:
-            return None
-        _, pid, frame = min(candidates)
-        return pid, frame
+            del shard.frames[pid]
+        self._release_slot()

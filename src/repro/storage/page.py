@@ -36,6 +36,49 @@ PageId = int
 #: Sentinel page id meaning "no page" (e.g. no rightlink).
 NO_PAGE: PageId = -1
 
+#: Types whose values never need copying.  Keys and predicates of these
+#: types are shared between a page and its snapshots instead of being
+#: ``copy.deepcopy``-ed on every flush/eviction — the dominant cost of a
+#: page snapshot for scalar trees.  Extensions whose key/predicate type
+#: is immutable (e.g. a frozen dataclass) opt in via
+#: :func:`register_immutable_type`.
+_IMMUTABLE_TYPES: set[type] = {
+    int,
+    float,
+    str,
+    bytes,
+    bool,
+    complex,
+    type(None),
+}
+
+
+def register_immutable_type(tp: type) -> None:
+    """Declare ``tp`` immutable so copies can share its instances.
+
+    Only register types whose instances can never be mutated in place
+    (scalars, frozen dataclasses of scalars); a shared mutable value
+    would let an in-memory page edit leak into an already-taken disk
+    snapshot.
+    """
+    _IMMUTABLE_TYPES.add(tp)
+
+
+def _is_immutable(value: object) -> bool:
+    tp = type(value)
+    if tp in _IMMUTABLE_TYPES:
+        return True
+    if tp is tuple:
+        return all(_is_immutable(item) for item in value)
+    return False
+
+
+def _copy_value(value: object) -> object:
+    """A safe independent copy: shared if immutable, deep otherwise."""
+    if _is_immutable(value):
+        return value
+    return copy.deepcopy(value)
+
 
 class PageKind(Enum):
     """What a page currently holds."""
@@ -63,7 +106,7 @@ class LeafEntry:
     def copy(self) -> "LeafEntry":
         """An independent copy."""
         return LeafEntry(
-            copy.deepcopy(self.key), self.rid, self.deleted, self.delete_xid
+            _copy_value(self.key), self.rid, self.deleted, self.delete_xid
         )
 
     def as_tuple(self) -> tuple[object, object]:
@@ -80,7 +123,7 @@ class InternalEntry:
 
     def copy(self) -> "InternalEntry":
         """An independent copy."""
-        return InternalEntry(copy.deepcopy(self.pred), self.child)
+        return InternalEntry(_copy_value(self.pred), self.child)
 
 
 @dataclass
@@ -226,7 +269,7 @@ class Page:
             rightlink=self.rightlink,
             page_lsn=self.page_lsn,
             capacity=self.capacity,
-            bp=copy.deepcopy(self.bp),
+            bp=_copy_value(self.bp),
         )
         clone.entries = [entry.copy() for entry in self.entries]
         return clone

@@ -135,16 +135,27 @@ class LogManager:
                 raise WALError(f"no log record with lsn {lsn}")
             return self._records[lsn - 1]
 
-    def records_from(self, lsn: int = 1) -> Iterator[LogRecord]:
-        """Iterate records in LSN order starting at ``lsn``."""
+    def records_from(
+        self, lsn: int = 1, batch: int = 256
+    ) -> Iterator[LogRecord]:
+        """Iterate records in LSN order starting at ``lsn``.
+
+        The log mutex is taken once per ``batch`` records instead of
+        once per record, which is what restart recovery's full-log scan
+        pays.  Records appended *while* iterating are still observed:
+        a batch only ever contains records that already existed when it
+        was grabbed, so anything newer has a higher LSN and is picked up
+        by a later batch.
+        """
         index = max(lsn, 1) - 1
+        batch = max(batch, 1)
         while True:
             with self._mutex:
-                if index >= len(self._records):
-                    return
-                record = self._records[index]
-            yield record
-            index += 1
+                chunk = self._records[index : index + batch]
+            if not chunk:
+                return
+            yield from chunk
+            index += len(chunk)
 
     @property
     def end_lsn(self) -> int:

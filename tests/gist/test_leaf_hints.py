@@ -1,0 +1,281 @@
+"""Leaf-hint descent cache: validation protocol, invalidation, stress.
+
+The ISSUE's contract: a hint must never bypass the NSN check, never land
+on a FREE/reused page, and never survive a ``Database`` restart.  The
+fallback is always the plain root descent, so every test also asserts
+end-state correctness against it.
+"""
+
+import random
+import threading
+
+from repro.database import Database
+from repro.ext.btree import BTreeExtension, Interval
+from repro.gist.checker import check_tree
+from repro.gist.maintenance import vacuum
+from repro.txn.transaction import IsolationLevel
+
+
+def make_db(**kw):
+    kw.setdefault("page_capacity", 4)
+    kw.setdefault("leaf_hints", True)
+    kw.setdefault("pool_shards", 4)
+    kw.setdefault("lock_timeout", 20.0)
+    db = Database(**kw)
+    tree = db.create_tree("t", BTreeExtension())
+    return db, tree
+
+
+def seed_tree(db, tree, n=300, seed=7):
+    keys = list(range(n))
+    random.Random(seed).shuffle(keys)
+    txn = db.begin()
+    for k in keys:
+        tree.insert(txn, k, f"r{k}")
+    db.commit(txn)
+    return keys
+
+
+class TestInsertHints:
+    def test_repeat_vicinity_inserts_hit(self):
+        db, tree = make_db()
+        seed_tree(db, tree)
+        txn = db.begin()
+        tree.insert(txn, 150, "dup-0")
+        before = tree.stats.hint_hits
+        for i in range(1, 6):
+            tree.insert(txn, 150, f"dup-{i}")
+        db.commit(txn)
+        assert tree.stats.hint_hits > before
+        assert tree.stats.hint_descents_saved >= tree.stats.hint_hits > 0
+        txn = db.begin()
+        rows = tree.search(txn, 150)
+        db.commit(txn)
+        assert {rid for _, rid in rows} == {"r150"} | {
+            f"dup-{i}" for i in range(6)
+        }
+        assert check_tree(tree).ok
+
+    def test_hints_off_by_default(self):
+        db = Database(page_capacity=4)
+        tree = db.create_tree("t", BTreeExtension())
+        seed_tree(db, tree, n=100)
+        txn = db.begin()
+        for i in range(5):
+            tree.insert(txn, 50, f"d{i}")
+        db.commit(txn)
+        assert tree.stats.hint_hits == 0
+        assert tree.stats.hint_misses == 0
+
+    def test_stale_hint_follows_rightlink_after_foreign_split(self):
+        """The NSN check is never bypassed: another thread splits the
+        hinted leaf, so this thread's memo is stale and the hinted
+        descent must walk the rightlink chain to the correct sibling."""
+        db, tree = make_db()
+        seed_tree(db, tree)
+        # Record a hint in the main thread.
+        txn = db.begin()
+        tree.insert(txn, 200, "mine-0")
+        db.commit(txn)
+        hint = tree._hint_state()["insert"]
+        assert hint is not None
+        splits_before = tree.stats.splits
+
+        def splitter():
+            stxn = db.begin()
+            for i in range(40):
+                tree.insert(stxn, 200, f"other-{i}")
+            db.commit(stxn)
+
+        t = threading.Thread(target=splitter)
+        t.start()
+        t.join(60)
+        assert not t.is_alive()
+        assert tree.stats.splits > splits_before
+        # The main thread still holds its now-stale hint.
+        assert tree._hint_state()["insert"] == hint
+        txn = db.begin()
+        for i in range(1, 6):
+            tree.insert(txn, 200, f"mine-{i}")
+        db.commit(txn)
+        txn = db.begin()
+        rids = {rid for _, rid in tree.search(txn, 200)}
+        db.commit(txn)
+        assert {f"mine-{i}" for i in range(6)} <= rids
+        assert {f"other-{i}" for i in range(40)} <= rids
+        assert check_tree(tree).ok
+
+    def test_hint_invalidated_by_node_deletion(self):
+        """A hint pointing at a drained-and-freed node must miss: the
+        deleter bumps the hint epoch under the victim's X latch, so the
+        hinted descent can never land on the FREE (or reused) page."""
+        db, tree = make_db()
+        seed_tree(db, tree)
+        txn = db.begin()
+        tree.insert(txn, 250, "doomed")
+        db.commit(txn)
+        hint = tree._hint_state()["insert"]
+        assert hint is not None
+        hinted_pid = hint[0]
+        # Empty out a wide band around the hinted leaf, then vacuum.
+        txn = db.begin()
+        tree.delete_where(txn, Interval(220, 299))
+        db.commit(txn)
+        vtxn = db.begin()
+        report = vacuum(tree, vtxn)
+        db.commit(vtxn)
+        assert hinted_pid in report.freed_pids
+        # The stale hint is still in thread-local state but the epoch
+        # moved; the next insert must fall back to a root descent.
+        misses_before = tree.stats.hint_misses
+        txn = db.begin()
+        tree.insert(txn, 250, "reborn")
+        db.commit(txn)
+        assert tree.stats.hint_misses > misses_before
+        txn = db.begin()
+        rows = tree.search(txn, 250)
+        db.commit(txn)
+        assert [rid for _, rid in rows] == ["reborn"]
+        assert check_tree(tree).ok
+
+    def test_hints_do_not_survive_restart(self):
+        db, tree = make_db()
+        seed_tree(db, tree, n=120)
+        txn = db.begin()
+        tree.insert(txn, 60, "pre-crash")
+        db.commit(txn)
+        assert tree._hint_state()["insert"] is not None
+        db.checkpoint()
+        db.crash()
+        db2 = db.restart({"t": BTreeExtension()})
+        tree2 = db2.tree("t")
+        # Knobs propagate, hint state does not.
+        assert tree2.leaf_hints is True
+        assert db2.pool_shards == db.pool_shards
+        assert tree2._hint_state()["insert"] is None
+        assert tree2._hint_state()["search"] is None
+        txn = db2.begin()
+        rids = {rid for _, rid in tree2.search(txn, 60)}
+        tree2.insert(txn, 60, "post-crash")
+        db2.commit(txn)
+        assert "pre-crash" in rids
+        assert check_tree(tree2).ok
+
+
+class TestSearchHints:
+    def test_repeat_point_search_hits(self):
+        db, tree = make_db()
+        seed_tree(db, tree)
+        results = []
+        for _ in range(4):
+            txn = db.begin(IsolationLevel.READ_COMMITTED)
+            results.append(tree.search(txn, 42))
+            db.commit(txn)
+        assert all(r == [(42, "r42")] for r in results)
+        # First search records the hint; later ones replay it.
+        assert tree.stats.hint_hits >= 2
+
+    def test_hinted_search_sees_new_duplicates(self):
+        """Correctness across invalidation: an insert that lands after
+        the hint was recorded must still be visible to a replayed (or
+        fallen-back) search."""
+        db, tree = make_db()
+        seed_tree(db, tree)
+        txn = db.begin(IsolationLevel.READ_COMMITTED)
+        assert tree.search(txn, 77) == [(77, "r77")]
+        db.commit(txn)
+        txn = db.begin()
+        for i in range(8):
+            tree.insert(txn, 77, f"late-{i}")
+        db.commit(txn)
+        txn = db.begin(IsolationLevel.READ_COMMITTED)
+        rids = {rid for _, rid in tree.search(txn, 77)}
+        db.commit(txn)
+        assert rids == {"r77"} | {f"late-{i}" for i in range(8)}
+
+    def test_range_queries_never_recorded(self):
+        db, tree = make_db()
+        seed_tree(db, tree)
+        for _ in range(3):
+            txn = db.begin(IsolationLevel.READ_COMMITTED)
+            tree.search(txn, Interval(10, 90))
+            db.commit(txn)
+        assert tree._hint_state()["search"] is None
+
+    def test_repeatable_read_never_uses_hints(self):
+        """RR needs predicate attachment along the whole descent; the
+        hint shortcut is categorically disabled for it."""
+        db, tree = make_db()
+        seed_tree(db, tree)
+        hits_after_seed = tree.stats.hint_hits
+        for _ in range(3):
+            txn = db.begin(IsolationLevel.REPEATABLE_READ)
+            assert tree.search(txn, 42) == [(42, "r42")]
+            db.commit(txn)
+        assert tree._hint_state()["search"] is None
+        assert tree.stats.hint_hits == hits_after_seed
+
+
+class TestHintStress:
+    def test_concurrent_localized_writers_with_vacuum(self):
+        """Hinted descents racing splits, logical deletes and vacuum
+        node-deletions must preserve tree integrity and never lose an
+        insert."""
+        db, tree = make_db(page_capacity=8)
+        seed_tree(db, tree, n=400)
+        inserted = []
+        ilock = threading.Lock()
+        stop = threading.Event()
+
+        def writer(wid):
+            rng = random.Random(100 + wid)
+            center = 50 + wid * 100  # per-thread vicinity => hint hits
+            for batch in range(15):
+                txn = db.begin()
+                local = []
+                for i in range(6):
+                    key = center + rng.randrange(10)
+                    rid = f"w{wid}-{batch}-{i}"
+                    tree.insert(txn, key, rid)
+                    local.append((key, rid))
+                db.commit(txn)
+                with ilock:
+                    inserted.extend(local)
+
+        def vacuumer():
+            rng = random.Random(99)
+            while not stop.is_set():
+                txn = db.begin()
+                lo = rng.randrange(350)
+                # Delete seed rows only — never the writers' rids.
+                for key, rid in tree.search(txn, Interval(lo, lo + 25)):
+                    if rid == f"r{key}":
+                        tree.delete(txn, key, rid)
+                db.commit(txn)
+                vtxn = db.begin()
+                vacuum(tree, vtxn)
+                db.commit(vtxn)
+
+        threads = [
+            threading.Thread(target=writer, args=(w,)) for w in range(4)
+        ]
+        vt = threading.Thread(target=vacuumer)
+        for t in threads:
+            t.start()
+        vt.start()
+        for t in threads:
+            t.join(120)
+        stop.set()
+        vt.join(120)
+        assert not any(t.is_alive() for t in threads) and not vt.is_alive()
+        assert tree.stats.hint_hits > 0  # the cache actually engaged
+        txn = db.begin()
+        found = {
+            (key, rid)
+            for key, rid in tree.search(txn, Interval(0, 1000))
+            if not rid.startswith("r")
+        }
+        db.commit(txn)
+        assert found == set(inserted)
+        report = check_tree(tree)
+        assert report.ok, report.errors
