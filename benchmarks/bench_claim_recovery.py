@@ -13,7 +13,7 @@ import time
 
 from repro.database import Database
 from repro.ext.btree import BTreeExtension
-from repro.harness.crash import CrashRecoveryHarness
+from repro.harness.crash import CrashRecoveryHarness, trial_rows
 from repro.wal.recovery import RestartRecovery
 
 TRIALS = 20
@@ -23,12 +23,15 @@ SMO_TRIALS = 6
 def test_c5_crash_battery(benchmark, emit):
     harness = CrashRecoveryHarness()
     rows = []
+    results = []
 
     def run():
         rows.clear()
+        results.clear()
         ok = 0
         for seed in range(TRIALS):
             result = harness.run_trial(seed, txns=15)
+            results.append(result)
             ok += result.ok
         rows.append(
             {
@@ -42,6 +45,7 @@ def test_c5_crash_battery(benchmark, emit):
             result = harness.run_trial(
                 500 + seed, txns=10, crash_mid_smo=True
             )
+            results.append(result)
             ok += result.ok
             interrupted += result.crashed_mid_smo
         rows.append(
@@ -54,6 +58,12 @@ def test_c5_crash_battery(benchmark, emit):
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     emit("C5 — crash/recovery battery (committed == recovered)", rows)
+    failed = [r for r in results if not r.ok]
+    if failed:
+        # surface per-trial diagnostics (seed + first error), not just
+        # the aggregate count, so a failing seed is actionable from the
+        # CI log
+        emit("C5 — failing trials", trial_rows(failed))
     assert all(r["recovered_ok"] == r["trials"] for r in rows)
 
 

@@ -210,6 +210,58 @@ def test_resident_pin_is_shard_local(benchmark, emit):
             assert delta == 1
 
 
+def test_fault_machinery_dormant_on_hot_path(benchmark, emit):
+    """With no fault plan installed, the fault-injection machinery must
+    cost the resident-pin hot path nothing it can't prove: the per-shard
+    lock-acquisition counts are identical to the pre-fault-layer contract
+    (home = pin + unpin per round + snapshot, others = snapshot only) and
+    every fault/retry counter stays at zero."""
+    out: dict = {}
+
+    def run():
+        out.clear()
+        out.update(measure_shard_locality())
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    home, deltas = out["home"], out["deltas"]
+    emit(
+        f"HOTPATH — fault machinery dormant: shard lock acquisitions "
+        f"pinning one resident page {PIN_ROUNDS}x with faults disabled",
+        [
+            {
+                "shard": i,
+                "lock_acquisitions": d,
+                "role": "home" if i == home else "other",
+            }
+            for i, d in enumerate(deltas)
+        ],
+        columns=["shard", "lock_acquisitions", "role"],
+    )
+    for i, delta in enumerate(deltas):
+        expected = 2 * PIN_ROUNDS + 1 if i == home else 1
+        assert delta == expected, (
+            "fault machinery added lock acquisitions to the resident-pin "
+            f"path: shard {i} took {delta}, expected {expected}"
+        )
+    # no plan => no pin-ledger tracking and no fault-layer activity
+    store = PageStore(io_delay=0.0)
+    pool = BufferPool(store, capacity=8, shards=2)
+    assert pool._track_fixes is False
+    frame = pool.new_frame(PageKind.LEAF)
+    for _ in range(50):
+        pool.pin(frame.page.pid)
+        pool.unpin(frame.page.pid)
+    for counter in (
+        "storage.io_retries",
+        "storage.torn_pages_detected",
+        "storage.torn_pages_healed",
+        "storage.write_faults",
+    ):
+        assert pool.metrics.counter(counter).value == 0, counter
+    assert store.stats.checksum_failures == 0
+    assert store.stats.faults_injected == 0
+
+
 def test_sharded_pool_wall_clock(benchmark, emit):
     """Context only — throughput of the mixed threaded workload under
     1 shard vs 8.  No tight gate (wall clock is noisy here); the

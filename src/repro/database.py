@@ -19,13 +19,14 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro.errors import ReproError, WALError
+from repro.faults import FaultPlan
 from repro.gist.extension import GiSTExtension
 from repro.gist.tree import GiST
 from repro.lock.manager import LockManager
 from repro.obs.metrics import MetricsRegistry
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import PageStore
-from repro.storage.page import PageKind
+from repro.storage.page import Page, PageKind
 from repro.sync.hooks import Hooks
 from repro.sync.latch import LatchMode
 from repro.txn.manager import TransactionManager
@@ -74,6 +75,13 @@ class Database:
         registry: every instrument is a shared no-op and no clock is
         read on any hot path (``benchmarks/bench_obs_overhead.py``
         measures the difference).
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` injecting storage and
+        WAL-tail faults on a seeded, deterministic schedule (DESIGN.md
+        §9).  ``None`` disables all injection; the checksum machinery
+        stays on either way.
+    io_retries, io_retry_backoff:
+        Transient-read retry policy forwarded to the buffer pool.
     """
 
     def __init__(
@@ -90,14 +98,26 @@ class Database:
         metrics_enabled: bool = True,
         pool_shards: int = 8,
         leaf_hints: bool = False,
+        fault_plan: FaultPlan | None = None,
+        io_retries: int = 4,
+        io_retry_backoff: float = 0.001,
     ) -> None:
         self.metrics = MetricsRegistry(enabled=metrics_enabled)
         self.pool_shards = pool_shards
         #: opt-in leaf-hint descent cache, read by each GiST at creation
         self.leaf_hints = leaf_hints
+        self.io_retries = io_retries
+        self.io_retry_backoff = io_retry_backoff
         self.store = store or PageStore(
-            io_delay=io_delay, page_capacity=page_capacity
+            io_delay=io_delay,
+            page_capacity=page_capacity,
+            fault_plan=fault_plan,
         )
+        #: the plan travels with the store across restarts; an explicit
+        #: argument wins over (and is installed on) a supplied store
+        if fault_plan is not None:
+            self.store.fault_plan = fault_plan
+        self.fault_plan = self.store.fault_plan
         self.store.bind_metrics(self.metrics)
         if log is None:
             self.log = LogManager(
@@ -114,7 +134,11 @@ class Database:
             wal_flush=self.log.flush,
             metrics=self.metrics,
             shards=pool_shards,
+            io_retries=io_retries,
+            io_retry_backoff=io_retry_backoff,
         )
+        #: torn pages found at fix time are rebuilt by full WAL replay
+        self.pool.page_rebuilder = self._rebuild_page
         self.locks = LockManager(
             default_timeout=lock_timeout, metrics=self.metrics
         )
@@ -237,9 +261,26 @@ class Database:
         The caller must have stopped worker threads; live transactions
         simply vanish, exactly as in a power failure, and will be rolled
         back by restart recovery.
+
+        When a fault plan schedules WAL-tail faults, they fire here: the
+        final log write may have been torn, losing or corrupting the
+        last few durable records.  Faults never reach below the highest
+        LSN any persisted page or checkpoint depends on — those records
+        were written strictly before the dependent state (WAL rule), so
+        a torn *last* write cannot have touched them.
         """
         self.log.crash()
         self.pool.crash()
+        if self.fault_plan is not None:
+            loss, corrupt = self.fault_plan.wal_tail_actions()
+            if loss or corrupt is not None:
+                floor = max(
+                    self.store.max_durable_lsn(), self.log.master_lsn
+                )
+                if loss:
+                    self.log.torn_tail_loss(loss, floor)
+                if corrupt is not None:
+                    self.log.corrupt_tail_record(corrupt, floor)
 
     def restart(
         self, extensions: Mapping[str, GiSTExtension], **config: object
@@ -249,16 +290,42 @@ class Database:
         ``extensions`` maps tree names to extension instances (extension
         code cannot be stored in the log; the application supplies it at
         open time, as PostgreSQL does with operator classes).
+
+        Restart models recovery onto *repaired* hardware: the fault
+        plan's storage faults are deactivated (damage already persisted
+        — torn images, lost tail records — remains, as state), so
+        recovery itself runs deterministically and redo can finally
+        rewrite pages a permanent write fault had poisoned.  The
+        :class:`~repro.wal.recovery.RecoveryReport` is exposed as
+        ``recovery_report`` on the returned database.
         """
         from repro.wal.recovery import RestartRecovery
 
+        if self.fault_plan is not None:
+            self.fault_plan.note_restart()
         config.setdefault("page_capacity", self.store.page_capacity)
         config.setdefault("metrics_enabled", self.metrics.enabled)
         config.setdefault("pool_shards", self.pool_shards)
         config.setdefault("leaf_hints", self.leaf_hints)
+        config.setdefault("io_retries", self.io_retries)
+        config.setdefault("io_retry_backoff", self.io_retry_backoff)
         new_db = Database(store=self.store, log=self.log, **config)
-        RestartRecovery(new_db, extensions).run()
+        new_db.recovery_report = RestartRecovery(new_db, extensions).run()
         return new_db
+
+    def _rebuild_page(self, pid: int) -> "Page | None":
+        """Rebuild a torn page's image by replaying its WAL history.
+
+        Wired into :attr:`BufferPool.page_rebuilder`: when a page fix
+        detects a checksum mismatch, the pool calls back here, and the
+        page is reconstructed from the log (its full history is WAL-
+        covered) rather than fatally rejected.  Returns ``None`` when
+        no log record mentions the page — unrecoverable, so the typed
+        error surfaces instead.
+        """
+        from repro.wal.recovery import rebuild_page_from_log
+
+        return rebuild_page_from_log(self.log, self.store, pid)
 
     # ------------------------------------------------------------------
     # the undo executor (Table 1's undo column)

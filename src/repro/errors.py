@@ -64,6 +64,45 @@ class PageOverflowError(PageError):
     """An entry insertion exceeded the page capacity."""
 
 
+class StorageFaultError(PageError):
+    """Base class for injected or detected storage faults.
+
+    Raised by the simulated disk when a :class:`repro.faults.FaultPlan`
+    fires, and by the checksum machinery when it detects the damage a
+    fault left behind.  All of them are *typed* failures: the database
+    either retries/heals them or surfaces them — never silent
+    corruption.
+    """
+
+
+class TransientIOError(StorageFaultError):
+    """A page read failed transiently (injected by a fault plan).
+
+    Retryable: the buffer pool retries reads with bounded exponential
+    backoff (``io_retries`` / ``io_retry_backoff`` knobs), and
+    :func:`repro.harness.driver.run_with_retry` treats it like a
+    deadlock abort at the transaction level.
+    """
+
+
+class DiskWriteError(StorageFaultError):
+    """A page write failed permanently (injected by a fault plan).
+
+    The buffer pool restores the frame's dirty state so the page image
+    is never lost from memory; the WAL still covers the change, so a
+    crash + restart recovers it onto repaired storage.
+    """
+
+
+class TornPageError(StorageFaultError):
+    """A page read found a checksum mismatch (torn page write).
+
+    Self-healable: when the WAL covers the page's full history the
+    buffer pool rebuilds the image by replaying the log and re-persists
+    it; otherwise the error surfaces to the caller.
+    """
+
+
 class BufferPoolError(ReproError):
     """Buffer pool misuse (e.g. unpinning an unpinned page)."""
 
@@ -78,6 +117,15 @@ class WALError(ReproError):
 
 class RecoveryError(WALError):
     """Restart recovery detected an inconsistency it cannot repair."""
+
+
+class WALCorruptionError(WALError):
+    """A log record failed its checksum outside the healable tail.
+
+    The healable case — bad records in the log *tail* — never raises:
+    restart recovery truncates the log at the first bad record and
+    replays the valid prefix.
+    """
 
 
 class CrashError(ReproError):

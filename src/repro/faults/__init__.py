@@ -1,0 +1,15 @@
+"""Deterministic storage fault injection (``repro.faults``).
+
+A :class:`FaultPlan` is a seeded, per-operation schedule of storage
+faults — transient read errors, permanent write errors, torn page
+writes, and WAL tail loss/corruption — consulted by the simulated disk
+(:class:`~repro.storage.disk.PageStore`) and applied to the log manager
+at crash time.  Plans are pure data plus deterministic counters, so the
+same seed always injects the same faults at the same operations; the
+:class:`~repro.harness.chaos.ChaosHarness` builds its trials on that
+reproducibility.
+"""
+
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+
+__all__ = ["FaultKind", "FaultPlan", "FaultSpec"]

@@ -28,6 +28,7 @@ Protocol rules enforced throughout:
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from time import perf_counter_ns
 from typing import TYPE_CHECKING, Sequence
 
@@ -35,6 +36,7 @@ from repro.errors import (
     KeyNotFoundError,
     RecoveryError,
     ReproError,
+    StorageFaultError,
     UniqueViolationError,
 )
 from repro.gist.extension import GiSTExtension
@@ -403,6 +405,23 @@ class GiST:
     # ------------------------------------------------------------------
     # public operations
     # ------------------------------------------------------------------
+    @contextmanager
+    def _fault_cleanup(self):
+        """Release leaked pins/latches when a storage fault unwinds.
+
+        A :class:`~repro.errors.StorageFaultError` surfacing out of a
+        page fix aborts the operation mid-descent, past frames it still
+        holds pinned and latched; without cleanup the thread's next
+        operation self-deadlocks re-acquiring its own latch.  Every
+        public entry point (and the undo executor's leaf methods) runs
+        under this guard.  No-op unless a fault plan is installed.
+        """
+        try:
+            yield
+        except StorageFaultError:
+            self.db.pool.release_thread_fixes()
+            raise
+
     def search(self, txn: Transaction, query: object) -> list[tuple]:
         """All ``(key, rid)`` pairs satisfying ``query`` (Figure 3)."""
         from repro.gist.cursor import SearchCursor
@@ -411,7 +430,8 @@ class GiST:
         t0 = perf_counter_ns() if timed else 0
         cursor = SearchCursor(self, txn, query)
         try:
-            return cursor.fetch_all()
+            with self._fault_cleanup():
+                return cursor.fetch_all()
         finally:
             cursor.close()
             if timed:
@@ -434,7 +454,8 @@ class GiST:
         timed = self.metrics.enabled
         t0 = perf_counter_ns() if timed else 0
         if self.unique:
-            self._insert_unique(txn, key, rid)
+            with self._fault_cleanup():
+                self._insert_unique(txn, key, rid)
         else:
             # Phase 1: X-lock the data record before touching the tree.
             self.db.locks.acquire(txn.xid, self.rid_lock(rid), LockMode.X)
@@ -442,7 +463,8 @@ class GiST:
                 txn.xid, self.ext.eq_query(key), PredicateKind.INSERT
             )
             try:
-                self._insert_located(txn, key, rid, plock)
+                with self._fault_cleanup():
+                    self._insert_located(txn, key, rid, plock)
             finally:
                 self.predicates.unregister(plock)
         self.stats.bump("inserts")
@@ -481,10 +503,11 @@ class GiST:
 
         cursor = SearchCursor(self, txn, query)
         try:
-            total = 0
-            while cursor.fetch_next() is not None:
-                total += 1
-            return total
+            with self._fault_cleanup():
+                total = 0
+                while cursor.fetch_next() is not None:
+                    total += 1
+                return total
         finally:
             cursor.close()
 
@@ -514,7 +537,8 @@ class GiST:
         timed = self.metrics.enabled
         t0 = perf_counter_ns() if timed else 0
         self.db.locks.acquire(txn.xid, self.rid_lock(rid), LockMode.X)
-        found = self._mark_deleted(txn, key, rid)
+        with self._fault_cleanup():
+            found = self._mark_deleted(txn, key, rid)
         if not found:
             raise KeyNotFoundError(
                 f"({key!r}, {rid!r}) not found in tree {self.name!r}"
@@ -1439,7 +1463,10 @@ class GiST:
         """Logical undo of a leaf insertion: re-locate the leaf (the
         entry may have moved right through splits) and remove the entry,
         writing the compensating record."""
-        frame = self._locate_for_undo(record.page_id, record.key, record.rid)
+        with self._fault_cleanup():
+            frame = self._locate_for_undo(
+                record.page_id, record.key, record.rid
+            )
         try:
             clr = RemoveLeafEntryClr(
                 xid=txn_xid,
@@ -1465,7 +1492,10 @@ class GiST:
         restart: bool,
     ) -> None:
         """Logical undo of a logical deletion: unmark the entry."""
-        frame = self._locate_for_undo(record.page_id, record.key, record.rid)
+        with self._fault_cleanup():
+            frame = self._locate_for_undo(
+                record.page_id, record.key, record.rid
+            )
         try:
             clr = UnmarkLeafEntryClr(
                 xid=txn_xid,

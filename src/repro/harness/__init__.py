@@ -1,10 +1,17 @@
 """Benchmark and verification harness: drivers, crash injection, probes."""
 
-from repro.harness.crash import CrashRecoveryHarness, CrashTrialResult
+from repro.harness.chaos import ChaosHarness, ChaosTrialResult, chaos_rows
+from repro.harness.crash import (
+    CrashRecoveryHarness,
+    CrashTrialResult,
+    trial_rows,
+)
 from repro.harness.driver import (
+    RETRYABLE_ERRORS,
     BaselineDriver,
     DriverMetrics,
     TransactionalDriver,
+    run_with_retry,
 )
 from repro.harness.phantoms import AnomalyReport, run_phantom_campaign
 from repro.harness.report import print_table, render_table
@@ -12,11 +19,17 @@ from repro.harness.report import print_table, render_table
 __all__ = [
     "AnomalyReport",
     "BaselineDriver",
+    "ChaosHarness",
+    "ChaosTrialResult",
     "CrashRecoveryHarness",
     "CrashTrialResult",
     "DriverMetrics",
+    "RETRYABLE_ERRORS",
     "TransactionalDriver",
+    "chaos_rows",
     "print_table",
     "render_table",
     "run_phantom_campaign",
+    "run_with_retry",
+    "trial_rows",
 ]

@@ -1,0 +1,343 @@
+"""Chaos harness: seeded storage faults + crash/recovery trials.
+
+Extends the crash-injection harness (experiment C5) with a
+:class:`~repro.faults.FaultPlan`: each trial runs the randomized
+transactional workload *while the simulated disk misbehaves* —
+transient read errors, permanent write failures, torn page writes —
+then crashes (optionally losing or corrupting the WAL tail), restarts,
+and checks the recovery oracle:
+
+* every transaction whose commit record survived in the valid log
+  prefix keeps all of its effects;
+* every other transaction (uncommitted, or committed into the lost
+  tail) leaves no trace;
+* the recovered tree passes the full structural invariant check.
+
+The oracle accounts for WAL tail loss by tracking each transaction's
+*commit LSN*: after recovery truncates the log at
+``RecoveryReport.valid_end_lsn``, exactly the commits at or below that
+LSN survive.  Tail faults never reach below the highest LSN any
+persisted page or checkpoint depends on (see ``Database.crash``), so
+the surviving-commit set is always a prefix of commit order and the
+expected contents are computable by replaying surviving effects in
+commit-LSN order.
+
+Trials are bit-for-bit reproducible: the fault plan, the workload and
+the backoff policy (``io_retry_backoff=0`` — no wall-clock sleeps) are
+all derived from the seed, and the workload is single-threaded.
+
+Run standalone for the CI chaos-smoke gate::
+
+    PYTHONPATH=src python -m repro.harness.chaos --trials 25
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.database import Database
+from repro.errors import StorageFaultError, TransactionAbort
+from repro.ext.btree import Interval
+from repro.faults import FaultKind, FaultPlan
+from repro.gist.checker import check_tree
+from repro.harness.crash import CrashRecoveryHarness, CrashTrialResult
+from repro.harness.report import render_table
+from repro.wal.records import CommitRecord
+
+
+@dataclass
+class ChaosTrialResult(CrashTrialResult):
+    """Outcome of one chaos trial (crash trial + fault accounting)."""
+
+    #: faults the plan actually fired (from ``FaultPlan.injected``)
+    faults_injected: int = 0
+    fault_log: list[str] = field(default_factory=list)
+    #: transient-read retries the buffer pool performed
+    io_retries: int = 0
+    torn_pages_detected: int = 0
+    torn_pages_healed: int = 0
+    write_faults: int = 0
+    #: log records recovery truncated at the first bad checksum
+    tail_records_dropped: int = 0
+    #: committed transactions whose commit record fell in the lost tail
+    lost_commits: int = 0
+    #: workload steps that surfaced a typed storage fault (rolled back)
+    typed_failures: int = 0
+
+
+def chaos_rows(results: list[ChaosTrialResult]) -> list[dict]:
+    """Table rows for chaos results (errors surfaced, like trial_rows)."""
+    rows = []
+    for r in results:
+        first_error = r.errors[0] if r.errors else ""
+        if len(first_error) > 48:
+            first_error = first_error[:47] + "…"
+        rows.append(
+            {
+                "seed": r.seed,
+                "ok": "yes" if r.ok else "NO",
+                "committed": r.committed_txns,
+                "faults": r.faults_injected,
+                "retries": r.io_retries,
+                "torn": r.torn_pages_detected,
+                "healed": r.torn_pages_healed,
+                "tail_drop": r.tail_records_dropped,
+                "lost_commits": r.lost_commits,
+                "typed_fail": r.typed_failures,
+                "errors": len(r.errors),
+                "first_error": first_error,
+            }
+        )
+    return rows
+
+
+class ChaosHarness(CrashRecoveryHarness):
+    """Seeded fault-injection + crash/recovery trials with an oracle."""
+
+    def __init__(
+        self,
+        *,
+        page_capacity: int = 8,
+        pool_capacity: int = 8,
+        key_space: int = 10_000,
+        io_retries: int = 4,
+        kinds: frozenset[FaultKind] | set[FaultKind] | None = None,
+        extension=None,
+    ) -> None:
+        super().__init__(
+            page_capacity=page_capacity,
+            key_space=key_space,
+            extension=extension,
+        )
+        #: small pool so the workload actually evicts and re-reads pages
+        #: (faults live on the simulated disk, not in resident frames)
+        self.pool_capacity = pool_capacity
+        self.io_retries = io_retries
+        self.kinds = set(kinds) if kinds is not None else set(FaultKind)
+
+    def run_trial(
+        self,
+        seed: int,
+        *,
+        txns: int = 20,
+        ops_per_txn: int = 6,
+        commit_probability: float = 0.7,
+        flush_probability: float = 0.3,
+        crash_mid_smo: bool = False,
+    ) -> ChaosTrialResult:
+        """One seeded trial: faulty workload, crash, recover, verify."""
+        rng = random.Random(seed)
+        plan = FaultPlan.random(seed, kinds=self.kinds)
+        result = ChaosTrialResult(seed=seed)
+        db = Database(
+            page_capacity=self.page_capacity,
+            pool_capacity=self.pool_capacity,
+            lock_timeout=5.0,
+            fault_plan=plan,
+            io_retries=self.io_retries,
+            io_retry_backoff=0.0,  # deterministic: no wall-clock sleeps
+        )
+        tree = db.create_tree("chaos", self.extension)
+        #: committed effects in commit order: (commit_lsn, inserts, deletes)
+        commit_log: list[tuple[int, list, list]] = []
+        zombie_rids: set[object] = set()
+        counter = 0
+
+        for _ in range(txns):
+            txn = db.begin()
+            will_commit = rng.random() < commit_probability
+            pending_inserts: list[tuple[object, object]] = []
+            pending_deletes: list[tuple[object, object]] = []
+            # committed state so far (delete targets must be committed)
+            committed_state: dict[object, object] = {}
+            for _, inserts, deletes in commit_log:
+                for key, rid in inserts:
+                    committed_state[rid] = key
+                for rid in deletes:
+                    committed_state.pop(rid, None)
+            try:
+                for _ in range(ops_per_txn):
+                    deletable = sorted(
+                        set(committed_state)
+                        - zombie_rids
+                        - {rid for rid in pending_deletes}
+                    )
+                    if deletable and rng.random() < 0.3:
+                        rid = rng.choice(deletable)
+                        tree.delete(txn, committed_state[rid], rid)
+                        pending_deletes.append(rid)
+                    else:
+                        counter += 1
+                        key = rng.randrange(self.key_space)
+                        rid = f"s{seed}-r{counter}"
+                        tree.insert(txn, key, rid)
+                        pending_inserts.append((key, rid))
+            except (TransactionAbort, StorageFaultError) as exc:
+                # A surfaced fault aborts the transaction like a
+                # deadlock would.  Rollback itself may hit the faulty
+                # disk again — then the transaction is abandoned in
+                # flight (its locks vanish at the crash) exactly like
+                # an uncommitted-at-crash transaction.
+                if isinstance(exc, StorageFaultError):
+                    result.typed_failures += 1
+                try:
+                    db.rollback(txn)
+                except Exception:
+                    result.uncommitted_txns += 1
+                    zombie_rids.update(r for _, r in pending_inserts)
+                    zombie_rids.update(pending_deletes)
+                continue
+            if will_commit:
+                mark = max(1, db.log.end_lsn)
+                try:
+                    db.commit(txn)
+                except StorageFaultError:
+                    # commit's log force cannot fault (faults target the
+                    # page store), but stay safe: treat as in-flight
+                    result.typed_failures += 1
+                    result.uncommitted_txns += 1
+                    zombie_rids.update(r for _, r in pending_inserts)
+                    zombie_rids.update(pending_deletes)
+                    continue
+                result.committed_txns += 1
+                commit_log.append(
+                    (
+                        self._commit_lsn(db, txn.xid, mark),
+                        pending_inserts,
+                        pending_deletes,
+                    )
+                )
+            else:
+                result.uncommitted_txns += 1
+                zombie_rids.update(rid for _, rid in pending_inserts)
+                zombie_rids.update(pending_deletes)
+            if rng.random() < flush_probability:
+                try:
+                    db.pool.flush_all()
+                except StorageFaultError:
+                    # permanent write fault: the frame stays dirty in
+                    # the pool; the WAL still covers the change
+                    result.typed_failures += 1
+
+        if crash_mid_smo:
+            try:
+                result.crashed_mid_smo = self._interrupt_inside_split(
+                    db, tree, rng
+                )
+            except StorageFaultError:
+                result.typed_failures += 1
+
+        # runtime fault accounting, read before the pool is discarded
+        metrics = db.metrics
+        result.io_retries = metrics.counter("storage.io_retries").value
+        result.torn_pages_detected = metrics.counter(
+            "storage.torn_pages_detected"
+        ).value
+        result.torn_pages_healed = metrics.counter(
+            "storage.torn_pages_healed"
+        ).value
+        result.write_faults = metrics.counter("storage.write_faults").value
+
+        db.crash()  # WAL tail faults (if scheduled) fire here
+        try:
+            db2 = db.restart({"chaos": self.extension})
+        except Exception as exc:  # pragma: no cover - trial diagnostics
+            result.errors.append(f"restart failed: {exc!r}")
+            result.fault_log = list(plan.injected)
+            result.faults_injected = len(plan.injected)
+            return result
+        result.recovered_ok = True
+        report = db2.recovery_report
+        result.tail_records_dropped = report.tail_records_dropped
+        result.torn_pages_detected += report.torn_pages_healed
+        result.torn_pages_healed += report.torn_pages_healed
+        result.fault_log = list(plan.injected)
+        result.faults_injected = len(plan.injected)
+
+        # Oracle: exactly the commits at or below the surviving log end
+        # keep their effects, applied in commit order.
+        valid_end = report.valid_end_lsn
+        expected: dict[object, object] = {}
+        for commit_lsn, inserts, deletes in commit_log:
+            if commit_lsn > valid_end or commit_lsn == 0:
+                result.lost_commits += 1
+                continue
+            for key, rid in inserts:
+                expected[rid] = key
+            for rid in deletes:
+                expected.pop(rid, None)
+
+        tree2 = db2.tree("chaos")
+        check = check_tree(tree2)
+        result.structure_ok = check.ok
+        result.errors.extend(check.errors)
+
+        txn = db2.begin()
+        found = {}
+        for key, rid in tree2.search(txn, Interval(0, self.key_space)):
+            found[rid] = key
+        db2.commit(txn)
+        if found == expected:
+            result.contents_match = True
+        else:
+            missing = sorted(set(expected) - set(found))[:5]
+            extra = sorted(set(found) - set(expected))[:5]
+            result.errors.append(
+                f"content mismatch: missing={missing} extra={extra}"
+            )
+        return result
+
+    @staticmethod
+    def _commit_lsn(db: Database, xid: int, mark: int) -> int:
+        """LSN of ``xid``'s commit record, scanning from ``mark``."""
+        for record in db.log.records_from(mark):
+            if isinstance(record, CommitRecord) and record.xid == xid:
+                return record.lsn
+        return 0  # pragma: no cover - commit always logs
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry for the CI ``chaos-smoke`` job."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="seeded storage-fault + crash/recovery trials"
+    )
+    parser.add_argument("--trials", type=int, default=25)
+    parser.add_argument("--base-seed", type=int, default=0)
+    parser.add_argument(
+        "--mid-smo-every",
+        type=int,
+        default=5,
+        help="every nth trial also crashes inside a node split",
+    )
+    args = parser.parse_args(argv)
+
+    harness = ChaosHarness()
+    results: list[ChaosTrialResult] = []
+    for i in range(args.trials):
+        seed = args.base_seed + i
+        mid_smo = args.mid_smo_every > 0 and i % args.mid_smo_every == 0
+        results.append(harness.run_trial(seed, crash_mid_smo=mid_smo))
+
+    print(render_table(chaos_rows(results), title="chaos trials"))
+    failed = [r for r in results if not r.ok]
+    total_faults = sum(r.faults_injected for r in results)
+    print(
+        f"\n{len(results) - len(failed)}/{len(results)} trials ok, "
+        f"{total_faults} faults injected, "
+        f"{sum(r.lost_commits for r in results)} commits lost to WAL "
+        f"tail faults (correctly rolled back)"
+    )
+    for r in failed:
+        print(f"\nseed {r.seed} FAILED:")
+        for line in r.fault_log:
+            print(f"  fault: {line}")
+        for err in r.errors:
+            print(f"  error: {err}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

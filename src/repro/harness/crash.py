@@ -42,6 +42,35 @@ class CrashTrialResult:
         return self.recovered_ok and self.contents_match and self.structure_ok
 
 
+def trial_rows(
+    results: list[CrashTrialResult], *, max_error_chars: int = 60
+) -> list[dict]:
+    """Render trial results as table rows, *including their errors*.
+
+    Failure diagnostics used to be dropped on the floor by report
+    tables; this surfaces the first error of each trial (truncated to
+    ``max_error_chars``) plus the error count, so a failing seed in CI
+    output says *why* it failed, not just that it did.  Feed the rows to
+    :func:`repro.harness.report.render_table`.
+    """
+    rows = []
+    for r in results:
+        first_error = r.errors[0] if r.errors else ""
+        if len(first_error) > max_error_chars:
+            first_error = first_error[: max_error_chars - 1] + "…"
+        row = {
+            "seed": r.seed,
+            "ok": "yes" if r.ok else "NO",
+            "committed": r.committed_txns,
+            "uncommitted": r.uncommitted_txns,
+            "mid_smo": "yes" if r.crashed_mid_smo else "",
+            "errors": len(r.errors),
+            "first_error": first_error,
+        }
+        rows.append(row)
+    return rows
+
+
 class CrashRecoveryHarness:
     """Run seeded crash/recovery trials over a scalar-key GiST."""
 

@@ -16,16 +16,74 @@ benchmark scripts print as the paper-claim tables of EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence, TypeVar
 
 from repro.database import Database
-from repro.errors import TransactionAbort
+from repro.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    TransactionAbort,
+    TransientIOError,
+)
 from repro.gist.tree import GiST
 from repro.txn.transaction import IsolationLevel
 from repro.workload.generator import Op, partition_ops
+
+T = TypeVar("T")
+
+#: Errors worth retrying at the transaction level: deadlock victims,
+#: lock-wait timeouts, and transient storage faults that survived the
+#: buffer pool's own read retries.
+RETRYABLE_ERRORS: tuple[type[BaseException], ...] = (
+    DeadlockError,
+    LockTimeoutError,
+    TransientIOError,
+)
+
+
+def run_with_retry(
+    fn: Callable[[], T],
+    *,
+    attempts: int = 10,
+    base_backoff: float = 0.0,
+    max_backoff: float = 0.1,
+    rng: random.Random | None = None,
+    retryable: tuple[type[BaseException], ...] = RETRYABLE_ERRORS,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Call ``fn`` until it succeeds or ``attempts`` are exhausted.
+
+    Between attempts the caller sleeps an exponentially growing,
+    *jittered* backoff: ``base_backoff * 2**(attempt-1)`` capped at
+    ``max_backoff``, scaled by a uniform factor in ``[0.5, 1.5)`` so
+    that transactions aborted by the same deadlock do not re-collide in
+    lockstep.  ``base_backoff=0`` retries immediately (deterministic
+    tests).  ``on_retry(attempt, exc)`` is invoked for every retryable
+    failure — including the last one, just before it is re-raised —
+    so callers can count aborts.  ``fn`` is responsible for its own
+    cleanup (e.g. rolling back the failed transaction) before the
+    exception escapes it.
+    """
+    rng = rng or random.Random()
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn()
+        except retryable as exc:
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            if attempt >= attempts:
+                raise
+            if base_backoff > 0.0:
+                delay = min(
+                    base_backoff * (2 ** (attempt - 1)), max_backoff
+                )
+                time.sleep(delay * (0.5 + rng.random()))
 
 
 @dataclass
@@ -125,26 +183,38 @@ class TransactionalDriver:
                 i = 0
                 while i < len(bucket):
                     batch = bucket[i : i + self.ops_per_txn]
-                    retries = 0
-                    while True:
+                    failures = [0]
+
+                    def attempt_batch(batch=batch) -> float:
                         txn = self.db.begin(self.isolation)
                         start = time.perf_counter()
                         try:
                             for op in batch:
                                 self._apply(txn, op)
                             self.db.commit(txn)
-                            local_lat.append(
-                                time.perf_counter() - start
-                            )
-                            commits += 1
-                            done += len(batch)
-                            break
-                        except TransactionAbort:
-                            aborts += 1
+                            return time.perf_counter() - start
+                        except BaseException:
                             self._safe_rollback(txn)
-                            retries += 1
-                            if retries > self.max_retries:
-                                break
+                            raise
+
+                    def count_abort(
+                        attempt: int, exc: BaseException, f=failures
+                    ) -> None:
+                        f[0] += 1
+
+                    try:
+                        latency = run_with_retry(
+                            attempt_batch,
+                            attempts=self.max_retries + 1,
+                            retryable=(TransactionAbort, TransientIOError),
+                            on_retry=count_abort,
+                        )
+                        local_lat.append(latency)
+                        commits += 1
+                        done += len(batch)
+                    except (TransactionAbort, TransientIOError):
+                        pass  # batch abandoned after exhausting retries
+                    aborts += failures[0]
                     i += self.ops_per_txn
                 with lock:
                     metrics.ops += done

@@ -28,10 +28,10 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from time import perf_counter_ns
+from time import perf_counter_ns, sleep
 from typing import Callable, Iterator
 
-from repro.errors import BufferPoolError
+from repro.errors import BufferPoolError, TornPageError, TransientIOError
 from repro.obs.metrics import LatchTimer, MetricsRegistry
 from repro.storage.disk import PageStore
 from repro.storage.page import Page, PageId, PageKind
@@ -183,7 +183,19 @@ class BufferPool:
         Number of hash partitions of the frame table.  1 (the default)
         degenerates to a single-mutex pool; the database assembly
         passes its ``pool_shards`` knob here.
+    io_retries:
+        How many times a page read that failed with
+        :class:`~repro.errors.TransientIOError` is retried before the
+        error surfaces.
+    io_retry_backoff:
+        Base delay of the bounded exponential backoff between read
+        retries, in seconds (doubles per attempt, capped at
+        :data:`MAX_RETRY_BACKOFF`).  ``0.0`` retries immediately —
+        what deterministic tests and chaos trials use.
     """
+
+    #: ceiling on any single retry backoff sleep (seconds)
+    MAX_RETRY_BACKOFF = 0.05
 
     def __init__(
         self,
@@ -192,6 +204,8 @@ class BufferPool:
         wal_flush: Callable[[int], None] | None = None,
         metrics: MetricsRegistry | None = None,
         shards: int = 1,
+        io_retries: int = 4,
+        io_retry_backoff: float = 0.001,
     ) -> None:
         if capacity < 1:
             raise BufferPoolError("buffer pool capacity must be >= 1")
@@ -200,6 +214,11 @@ class BufferPool:
         self.store = store
         self.capacity = capacity
         self.wal_flush = wal_flush or (lambda lsn: None)
+        self.io_retries = io_retries
+        self.io_retry_backoff = io_retry_backoff
+        #: callable rebuilding a page image from the WAL (wired by the
+        #: database assembly); enables torn-page self-healing on fix
+        self.page_rebuilder: Callable[[PageId], Page | None] | None = None
         self._shards = [_Shard() for _ in range(shards)]
         self._n_shards = shards
         # Global capacity budget.  ``_cap_lock`` is never held together
@@ -210,6 +229,25 @@ class BufferPool:
         self.metrics = metrics or MetricsRegistry()
         self._h_read_ns = self.metrics.histogram("buffer.io_read_ns")
         self._h_write_ns = self.metrics.histogram("buffer.io_write_ns")
+        # Fault-handling counters, created once here: with no faults in
+        # play none of them is ever incremented, and the resident-pin
+        # hot path does not touch them at all.
+        self._c_io_retries = self.metrics.counter("storage.io_retries")
+        self._c_torn_detected = self.metrics.counter(
+            "storage.torn_pages_detected"
+        )
+        self._c_torn_healed = self.metrics.counter(
+            "storage.torn_pages_healed"
+        )
+        self._c_write_faults = self.metrics.counter("storage.write_faults")
+        # Per-thread pin ledger, maintained only while a fault plan is
+        # installed: when a typed storage fault unwinds a tree operation
+        # mid-descent, :meth:`release_thread_fixes` uses it to drop the
+        # pins (and latches) the aborted operation leaked.  With faults
+        # disabled the ledger is never touched — the resident-pin hot
+        # path pays one predictable branch and nothing else.
+        self._track_fixes = store.fault_plan is not None
+        self._fix_local = threading.local()
         self._latch_timer = (
             LatchTimer(self.metrics) if self.metrics.enabled else None
         )
@@ -348,14 +386,23 @@ class BufferPool:
                     shard.writeback[pid] = event
                     snapshot = frame.page.snapshot()
             if event is not None and snapshot is not None:
+                write_ok = False
                 try:
                     self.wal_flush(snapshot.page_lsn)
                     t0 = perf_counter_ns()
                     self.store.write(snapshot)
                     self._h_write_ns.record(perf_counter_ns() - t0)
+                    write_ok = True
                 finally:
                     with self._locked(shard):
                         shard.writeback.pop(pid, None)
+                        if not write_ok:
+                            # The writeback failed: reinstall the (still
+                            # dirty) frame so the only copy of the page
+                            # is never lost; the typed error propagates.
+                            self._c_write_faults.inc()
+                            shard.evictions -= 1
+                            shard.insert(frame)
                     event.set()
             self._release_slot()
             return True
@@ -372,6 +419,68 @@ class BufferPool:
         single read.  A hit on a resident page acquires exactly one
         lock: the page's own shard mutex.
         """
+        frame = self._pin(pid)
+        if self._track_fixes:
+            self._ledger().append(frame)
+        return frame
+
+    def _ledger(self) -> list:
+        """This thread's list of pinned frames (fault-plan runs only)."""
+        try:
+            return self._fix_local.frames
+        except AttributeError:
+            frames: list[Frame] = []
+            self._fix_local.frames = frames
+            return frames
+
+    def release_thread_fixes(self) -> int:
+        """Drop every pin and latch this thread still holds.
+
+        The cleanup net for injected storage faults: a typed fault
+        raised from a page fix unwinds the tree operation mid-descent,
+        past frames it still has pinned and latched.  Left in place,
+        those holdings would self-deadlock the thread's next operation
+        (latch re-acquisition) and make frames unevictable.  Tree entry
+        points call this when a :class:`~repro.errors.StorageFaultError`
+        escapes; it is a no-op unless a fault plan is installed.
+
+        Returns the number of pins/latches released.
+        """
+        if not self._track_fixes:
+            return 0
+        released = 0
+        ledger = getattr(self._fix_local, "frames", None)
+        while ledger:
+            frame = ledger.pop()
+            pid = frame.page.pid
+            try:
+                if frame.latch.held_by_me():
+                    frame.latch.release()
+                shard = self._shard(pid)
+                with self._locked(shard):
+                    if (
+                        shard.frames.get(pid) is frame
+                        and frame.pin_count > 0
+                    ):
+                        frame.pin_count -= 1
+                released += 1
+            except Exception:  # pragma: no cover - best-effort cleanup
+                continue
+        # Frames installed via adopt() are latched directly without a
+        # tracked pin (split construction); sweep any latch left held.
+        for shard in self._shards:
+            with self._locked(shard):
+                frames = list(shard.frames.values())
+            for frame in frames:
+                try:
+                    while frame.latch.held_by_me():
+                        frame.latch.release()
+                        released += 1
+                except Exception:  # pragma: no cover - best-effort
+                    break
+        return released
+
+    def _pin(self, pid: PageId) -> Frame:
         shard = self._shard(pid)
         while True:
             wait_for: threading.Event | None = None
@@ -395,9 +504,7 @@ class BufferPool:
                 continue
             # We own the load for this pid.
             try:
-                t0 = perf_counter_ns()
-                page = self.store.read(pid)
-                self._h_read_ns.record(perf_counter_ns() - t0)
+                page = self._read_page(pid)
                 frame = Frame(page, self._latch_timer)
                 frame.pin_count = 1
                 self._reserve_slot(self.shard_of(pid))
@@ -410,6 +517,45 @@ class BufferPool:
                 if event is not None:
                     event.set()
 
+    def _read_page(self, pid: PageId) -> Page:
+        """``store.read`` with transient-fault retry and torn-page heal.
+
+        Transient read errors are retried up to ``io_retries`` times
+        with bounded exponential backoff.  A checksum mismatch (torn
+        page) is healed when the database wired a ``page_rebuilder``:
+        the image is reconstructed by WAL replay and re-persisted, so
+        the next reader finds a clean page.  Either error surfaces
+        typed when it cannot be absorbed — never silent corruption.
+        """
+        attempt = 0
+        while True:
+            try:
+                t0 = perf_counter_ns()
+                page = self.store.read(pid)
+                self._h_read_ns.record(perf_counter_ns() - t0)
+                return page
+            except TransientIOError:
+                attempt += 1
+                if attempt > self.io_retries:
+                    raise
+                self._c_io_retries.inc()
+                delay = min(
+                    self.io_retry_backoff * (2 ** (attempt - 1)),
+                    self.MAX_RETRY_BACKOFF,
+                )
+                if delay > 0.0:
+                    sleep(delay)
+            except TornPageError:
+                self._c_torn_detected.inc()
+                if self.page_rebuilder is None:
+                    raise
+                page = self.page_rebuilder(pid)
+                if page is None:
+                    raise
+                self.store.write(page)  # persist the healed image
+                self._c_torn_healed.inc()
+                return page
+
     def unpin(self, pid: PageId) -> None:
         """Drop one pin on ``pid``."""
         shard = self._shard(pid)
@@ -418,6 +564,13 @@ class BufferPool:
             if frame is None or frame.pin_count <= 0:
                 raise BufferPoolError(f"unpin of page {pid} that is not pinned")
             frame.pin_count -= 1
+        if self._track_fixes:
+            ledger = getattr(self._fix_local, "frames", None)
+            if ledger is not None:
+                for i in range(len(ledger) - 1, -1, -1):
+                    if ledger[i] is frame:
+                        del ledger[i]
+                        break
 
     def new_frame(self, kind: PageKind, level: int = 0) -> Frame:
         """Allocate a brand-new page and return its frame, pinned once."""
@@ -428,6 +581,8 @@ class BufferPool:
         self._reserve_slot(self.shard_of(page.pid))
         with self._locked(shard):
             shard.insert(frame)
+        if self._track_fixes:
+            self._ledger().append(frame)
         return frame
 
     def adopt(self, page: Page) -> Frame:
@@ -472,30 +627,61 @@ class BufferPool:
     # write-back
     # ------------------------------------------------------------------
     def flush_page(self, pid: PageId) -> None:
-        """Write one dirty page to disk under the WAL rule."""
+        """Write one dirty page to disk under the WAL rule.
+
+        If the disk write fails (injected permanent write fault), the
+        frame's dirty state is restored before the typed error
+        propagates: the in-memory image plus its WAL coverage is never
+        lost, and a later flush — or restart redo onto repaired
+        storage — retries the write.
+        """
         shard = self._shard(pid)
         with self._locked(shard):
             frame = shard.frames.get(pid)
             if frame is None or not frame.dirty:
                 return
             snapshot = frame.page.snapshot()
+            rec_lsn = frame.rec_lsn
             frame.dirty = False
             frame.rec_lsn = None
-        self.wal_flush(snapshot.page_lsn)
-        t0 = perf_counter_ns()
-        self.store.write(snapshot)
-        self._h_write_ns.record(perf_counter_ns() - t0)
+        try:
+            self.wal_flush(snapshot.page_lsn)
+            t0 = perf_counter_ns()
+            self.store.write(snapshot)
+            self._h_write_ns.record(perf_counter_ns() - t0)
+        except BaseException:
+            self._c_write_faults.inc()
+            with self._locked(shard):
+                if shard.frames.get(pid) is frame:
+                    frame.dirty = True
+                    if frame.rec_lsn is None:
+                        frame.rec_lsn = rec_lsn
+                    elif rec_lsn is not None:
+                        frame.rec_lsn = min(frame.rec_lsn, rec_lsn)
+            raise
 
     def flush_all(self) -> None:
-        """Flush every dirty page (clean shutdown / checkpoint end)."""
+        """Flush every dirty page (clean shutdown / checkpoint end).
+
+        Every page is attempted even when one write fails, so a single
+        poisoned page cannot pin the rest of the dirty set in memory;
+        the first error is re-raised after the sweep.
+        """
         dirty: list[PageId] = []
         for shard in self._shards:
             with self._locked(shard):
                 dirty.extend(
                     pid for pid, f in shard.frames.items() if f.dirty
                 )
+        first_error: BaseException | None = None
         for pid in dirty:
-            self.flush_page(pid)
+            try:
+                self.flush_page(pid)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
 
     def dirty_page_table(self) -> dict[PageId, int]:
         """``{pid: recLSN}`` for every dirty page (checkpointing)."""

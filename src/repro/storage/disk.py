@@ -12,6 +12,16 @@ is the substitution documented in DESIGN.md §2.
 The store also provides the persistence boundary for crash simulation:
 whatever was explicitly written here survives :meth:`BufferPool.crash`;
 everything else is lost and must be reconstructed by restart recovery.
+
+Two robustness layers ride on top (DESIGN.md §9):
+
+* every persisted snapshot carries a **CRC32 checksum** over its full
+  content (:func:`~repro.storage.page.page_checksum`), verified on
+  read — a half-applied write surfaces as
+  :class:`~repro.errors.TornPageError` instead of silent corruption;
+* an optional :class:`~repro.faults.FaultPlan` is consulted on every
+  read and write to inject transient read errors, permanent write
+  errors and torn page writes on a seeded, deterministic schedule.
 """
 
 from __future__ import annotations
@@ -19,49 +29,104 @@ from __future__ import annotations
 import threading
 import time
 
-from repro.errors import PageNotFoundError
-from repro.storage.page import NO_PAGE, Page, PageId, PageKind
+from repro.errors import (
+    DiskWriteError,
+    PageNotFoundError,
+    TornPageError,
+    TransientIOError,
+)
+from repro.faults import FaultKind, FaultPlan
+from repro.obs.metrics import Counter
+from repro.storage.page import (
+    NO_PAGE,
+    Page,
+    PageId,
+    PageKind,
+    page_checksum,
+)
 
 
 class IOStats:
-    """Counters for disk traffic (thread-safe)."""
+    """Counters for disk traffic.
+
+    Built on the sharded :class:`repro.obs.metrics.Counter`, so an
+    increment is a per-thread ``+=`` with no mutex — every simulated
+    disk op used to pay a lock acquisition here, now none do.  Reads of
+    the totals merge the shards (snapshot-time cost only).
+    """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.reads = 0
-        self.writes = 0
-        self.allocations = 0
-        self.frees = 0
+        self._reads = Counter("io.reads")
+        self._writes = Counter("io.writes")
+        self._allocations = Counter("io.allocations")
+        self._frees = Counter("io.frees")
+        self._checksum_failures = Counter("io.checksum_failures")
+        self._faults_injected = Counter("io.faults_injected")
+
+    @property
+    def reads(self) -> int:
+        """Total page reads."""
+        return self._reads.value
+
+    @property
+    def writes(self) -> int:
+        """Total page writes."""
+        return self._writes.value
+
+    @property
+    def allocations(self) -> int:
+        """Total page allocations."""
+        return self._allocations.value
+
+    @property
+    def frees(self) -> int:
+        """Total page frees."""
+        return self._frees.value
+
+    @property
+    def checksum_failures(self) -> int:
+        """Reads that failed checksum verification (torn pages)."""
+        return self._checksum_failures.value
+
+    @property
+    def faults_injected(self) -> int:
+        """Faults the plan fired at this store."""
+        return self._faults_injected.value
 
     def record_read(self) -> None:
         """Count one page read."""
-        with self._lock:
-            self.reads += 1
+        self._reads.inc()
 
     def record_write(self) -> None:
         """Count one page write."""
-        with self._lock:
-            self.writes += 1
+        self._writes.inc()
 
     def record_alloc(self) -> None:
         """Count one page allocation."""
-        with self._lock:
-            self.allocations += 1
+        self._allocations.inc()
 
     def record_free(self) -> None:
         """Count one page free."""
-        with self._lock:
-            self.frees += 1
+        self._frees.inc()
+
+    def record_checksum_failure(self) -> None:
+        """Count one torn-page detection."""
+        self._checksum_failures.inc()
+
+    def record_fault(self) -> None:
+        """Count one injected fault."""
+        self._faults_injected.inc()
 
     def snapshot(self) -> dict[str, int]:
         """Thread-safe snapshot of the counters."""
-        with self._lock:
-            return {
-                "reads": self.reads,
-                "writes": self.writes,
-                "allocations": self.allocations,
-                "frees": self.frees,
-            }
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "allocations": self.allocations,
+            "frees": self.frees,
+            "checksum_failures": self.checksum_failures,
+            "faults_injected": self.faults_injected,
+        }
 
 
 class PageStore:
@@ -74,14 +139,31 @@ class PageStore:
         sleep entirely (unit tests); benchmarks sweep this knob.
     page_capacity:
         Default entry capacity for newly allocated pages.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` consulted on every
+        read/write.  ``None`` (the default) skips all fault checks.
+    checksums:
+        Verify a CRC32 over every persisted snapshot on read.  On by
+        default; the check costs one fingerprint per *disk* read, never
+        touches the resident-pin hot path, and is what turns a torn
+        write into a typed, healable error.
     """
 
-    def __init__(self, io_delay: float = 0.0, page_capacity: int = 64) -> None:
+    def __init__(
+        self,
+        io_delay: float = 0.0,
+        page_capacity: int = 64,
+        fault_plan: FaultPlan | None = None,
+        checksums: bool = True,
+    ) -> None:
         self.io_delay = io_delay
         self.page_capacity = page_capacity
+        self.fault_plan = fault_plan
+        self.checksums = checksums
         self.stats = IOStats()
         self._lock = threading.Lock()
         self._pages: dict[PageId, Page] = {}
+        self._sums: dict[PageId, int] = {}
         self._allocated: set[PageId] = set()
         self._free_list: list[PageId] = []
         self._next_pid: PageId = 0
@@ -98,6 +180,12 @@ class PageStore:
         registry.gauge("io.writes", lambda: self.stats.writes)
         registry.gauge("io.allocations", lambda: self.stats.allocations)
         registry.gauge("io.frees", lambda: self.stats.frees)
+        registry.gauge(
+            "io.checksum_failures", lambda: self.stats.checksum_failures
+        )
+        registry.gauge(
+            "io.faults_injected", lambda: self.stats.faults_injected
+        )
 
     # ------------------------------------------------------------------
     # allocation
@@ -158,22 +246,93 @@ class PageStore:
     # I/O
     # ------------------------------------------------------------------
     def read(self, pid: PageId) -> Page:
-        """Read a page snapshot from disk (pays ``io_delay``)."""
+        """Read a page snapshot from disk (pays ``io_delay``).
+
+        Raises :class:`~repro.errors.TransientIOError` when the fault
+        plan fails this attempt, and :class:`~repro.errors.TornPageError`
+        when the persisted snapshot's checksum does not match its
+        content (a torn write reached disk).
+        """
+        if self.fault_plan is not None:
+            if self.fault_plan.on_read(pid) is not None:
+                self.stats.record_fault()
+                raise TransientIOError(
+                    f"injected transient read error on page {pid}"
+                )
         self._io_stall()
         self.stats.record_read()
         with self._lock:
             page = self._pages.get(pid)
             if page is None:
                 raise PageNotFoundError(f"page {pid} has never been written")
-            return page.snapshot()
+            snapshot = page.snapshot()
+            stored_sum = self._sums.get(pid)
+        if (
+            self.checksums
+            and stored_sum is not None
+            and page_checksum(snapshot) != stored_sum
+        ):
+            self.stats.record_checksum_failure()
+            raise TornPageError(
+                f"page {pid} failed checksum verification (torn write)"
+            )
+        return snapshot
 
     def write(self, page: Page) -> None:
-        """Write a page snapshot to disk (pays ``io_delay``)."""
+        """Write a page snapshot to disk (pays ``io_delay``).
+
+        Raises :class:`~repro.errors.DiskWriteError` on an injected
+        permanent write fault (nothing is persisted); an injected torn
+        write persists a half-updated image under the checksum of the
+        intended one, so the damage is detected on the next read.
+        """
+        action = None
+        if self.fault_plan is not None:
+            action = self.fault_plan.on_write(page.pid)
+        if action is FaultKind.PERMANENT_WRITE:
+            self.stats.record_fault()
+            raise DiskWriteError(
+                f"injected permanent write error on page {page.pid}"
+            )
         self._io_stall()
         self.stats.record_write()
         snapshot = page.snapshot()
+        checksum = page_checksum(snapshot) if self.checksums else None
         with self._lock:
+            if action is FaultKind.TORN_WRITE:
+                self.stats.record_fault()
+                snapshot = self._tear(snapshot, self._pages.get(page.pid))
             self._pages[page.pid] = snapshot
+            if checksum is not None:
+                self._sums[page.pid] = checksum
+
+    def _tear(self, intended: Page, prev: Page | None) -> Page:
+        """A torn image: new header + first half, stale second half.
+
+        If the mangling happens to reproduce the intended content (the
+        write changed nothing), the fault is recorded as skipped and the
+        clean image is persisted — an undetectable tear of identical
+        data is by definition harmless.
+        """
+        torn = intended.snapshot()
+        half = len(torn.entries) // 2
+        if prev is not None and prev.entries:
+            torn.entries = torn.entries[:half] + [
+                e.copy() for e in prev.entries[half:]
+            ]
+        elif torn.entries:
+            torn.entries = torn.entries[:half]
+        if page_checksum(torn) == page_checksum(intended):
+            if torn.entries:
+                torn.entries = torn.entries[:-1]
+            else:
+                if self.fault_plan is not None:
+                    self.fault_plan.note_skipped(
+                        f"torn write of page {intended.pid} left no "
+                        "detectable damage"
+                    )
+                return intended
+        return torn
 
     def exists(self, pid: PageId) -> bool:
         """True if the page has ever been flushed to disk."""
@@ -206,3 +365,16 @@ class PageStore:
         """Snapshots of every page currently on disk (for assertions)."""
         with self._lock:
             return {pid: page.snapshot() for pid, page in self._pages.items()}
+
+    def max_durable_lsn(self) -> int:
+        """The highest ``page_lsn`` persisted on disk.
+
+        Crash-time WAL tail faults must never reach below this boundary:
+        a page write only happens *after* the log covering its LSN was
+        forced, so a torn final log write cannot affect records that a
+        persisted page already depends on.
+        """
+        with self._lock:
+            return max(
+                (page.page_lsn for page in self._pages.values()), default=0
+            )

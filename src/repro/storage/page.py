@@ -24,6 +24,7 @@ fanout).
 from __future__ import annotations
 
 import copy
+import zlib
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterator
@@ -280,3 +281,43 @@ class Page:
             f"nsn={self.nsn}, right={self.rightlink}, lsn={self.page_lsn}, "
             f"n={len(self.entries)}/{self.capacity})"
         )
+
+
+# ---------------------------------------------------------------------------
+# checksums (torn-write detection)
+# ---------------------------------------------------------------------------
+
+
+def page_fingerprint(page: Page) -> bytes:
+    """A canonical byte encoding of a page image's full content.
+
+    Covers every header field *and* every entry field, so any
+    half-applied write (stale entries under a new header, or vice
+    versa) changes the fingerprint.  Keys, RIDs and predicates are
+    folded in via ``repr`` — stable for the scalar and dataclass types
+    extensions use, and good enough for a simulation checksum.
+    """
+    parts = [
+        f"pid={page.pid}",
+        f"kind={page.kind.value}",
+        f"level={page.level}",
+        f"nsn={page.nsn}",
+        f"rightlink={page.rightlink}",
+        f"page_lsn={page.page_lsn}",
+        f"capacity={page.capacity}",
+        f"bp={page.bp!r}",
+    ]
+    for entry in page.entries:
+        if isinstance(entry, LeafEntry):
+            parts.append(
+                f"L:{entry.key!r}:{entry.rid!r}:{entry.deleted}"
+                f":{entry.delete_xid}"
+            )
+        else:
+            parts.append(f"I:{entry.pred!r}:{entry.child}")
+    return "|".join(parts).encode("utf-8", "backslashreplace")
+
+
+def page_checksum(page: Page) -> int:
+    """CRC32 of the page fingerprint (the persisted page checksum)."""
+    return zlib.crc32(page_fingerprint(page))

@@ -22,7 +22,11 @@ from typing import Callable, Iterator
 
 from repro.errors import WALError
 from repro.obs.metrics import MetricsRegistry
-from repro.wal.records import NULL_LSN, DummyClr, LogRecord
+from repro.wal.records import (
+    NULL_LSN,
+    DummyClr,
+    LogRecord,
+)
 
 
 class LogStats:
@@ -118,13 +122,14 @@ class LogManager:
     # append / read
     # ------------------------------------------------------------------
     def append(self, record: LogRecord) -> int:
-        """Assign an LSN, backchain the record, and append it."""
+        """Assign an LSN, backchain the record, checksum it, append it."""
         with self._mutex:
             lsn = len(self._records) + 1
             record.lsn = lsn
             record.prev_lsn = self._last_lsn_of.get(record.xid, NULL_LSN)
-            self._last_lsn_of[record.xid] = lsn
+            record.stamp_checksum()
             self._records.append(record)
+            self._last_lsn_of[record.xid] = lsn
             self.stats.note_append()
             return lsn
 
@@ -245,6 +250,73 @@ class LogManager:
             # The backchain heads are rebuilt by restart analysis; runtime
             # append after a crash only happens via recovery, which
             # repopulates them through set_last_lsn().
+
+    # ------------------------------------------------------------------
+    # fault injection & self-healing (DESIGN.md §9)
+    # ------------------------------------------------------------------
+    def torn_tail_loss(self, count: int, floor: int = 0) -> int:
+        """Crash-time fault: drop up to ``count`` records off the tail.
+
+        Models a torn final log write whose sectors never hit the
+        platter even though the flush was acknowledged.  Never reaches
+        at or below ``floor`` (the highest LSN any persisted page or
+        checkpoint pointer depends on — those records were durably
+        written *before* the dependent state, so a torn last write
+        cannot have affected them).  Returns how many records were
+        actually dropped.
+        """
+        with self._mutex:
+            keep = max(floor, len(self._records) - max(count, 0))
+            dropped = len(self._records) - keep
+            if dropped <= 0:
+                return 0
+            del self._records[keep:]
+            self._flushed_lsn = min(self._flushed_lsn, keep)
+            if self.master_lsn > keep:
+                self.master_lsn = NULL_LSN
+            return dropped
+
+    def corrupt_tail_record(self, back: int, floor: int = 0) -> int | None:
+        """Crash-time fault: flip the checksum of a tail record.
+
+        ``back`` indexes from the end (0 = last record).  Returns the
+        corrupted record's LSN, or ``None`` when the target would fall
+        at or below ``floor`` (see :meth:`torn_tail_loss`) or the log is
+        too short.  The record stays in the log — detection is restart
+        recovery's job (:meth:`verify_and_truncate`).
+        """
+        with self._mutex:
+            idx = len(self._records) - 1 - max(back, 0)
+            if idx < 0 or idx + 1 <= floor:
+                return None
+            record = self._records[idx]
+            record.checksum = (record.checksum or 0) ^ 0x5A5A5A5A
+            return record.lsn
+
+    def verify_and_truncate(self) -> tuple[int, int]:
+        """Truncate the log at the first record that fails its checksum.
+
+        Returns ``(valid_end_lsn, dropped)``.  Restart recovery calls
+        this before analysis: everything from the first bad record on is
+        an unrecoverable torn tail and is discarded, and recovery
+        replays the valid prefix — the ARIES treatment of a torn log
+        write.  A clean log returns ``(end_lsn, 0)`` without modifying
+        anything.
+        """
+        with self._mutex:
+            bad_index: int | None = None
+            for i, record in enumerate(self._records):
+                if not record.verify_checksum():
+                    bad_index = i
+                    break
+            if bad_index is None:
+                return len(self._records), 0
+            dropped = len(self._records) - bad_index
+            del self._records[bad_index:]
+            self._flushed_lsn = min(self._flushed_lsn, bad_index)
+            if self.master_lsn > bad_index:
+                self.master_lsn = NULL_LSN
+            return bad_index, dropped
 
     def set_last_lsn(self, xid: int, lsn: int) -> None:
         """Restore a transaction's backchain head (restart analysis)."""

@@ -1,0 +1,116 @@
+"""run_with_retry: jittered-backoff retry of retryable aborts."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    TransientIOError,
+    UniqueViolationError,
+)
+from repro.harness.driver import RETRYABLE_ERRORS, run_with_retry
+
+
+class Flaky:
+    """Fails ``failures`` times with ``exc``, then returns ``value``."""
+
+    def __init__(self, failures, exc, value="done"):
+        self.failures = failures
+        self.exc = exc
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc
+        return self.value
+
+
+class TestRunWithRetry:
+    def test_success_first_try(self):
+        fn = Flaky(0, DeadlockError("never"))
+        assert run_with_retry(fn) == "done"
+        assert fn.calls == 1
+
+    @pytest.mark.parametrize(
+        "exc_type", RETRYABLE_ERRORS, ids=lambda t: t.__name__
+    )
+    def test_retries_each_retryable_error(self, exc_type):
+        fn = Flaky(2, exc_type("flaky"))
+        assert run_with_retry(fn, attempts=5) == "done"
+        assert fn.calls == 3
+
+    def test_exhausted_attempts_reraise(self):
+        fn = Flaky(10, TransientIOError("always"))
+        with pytest.raises(TransientIOError):
+            run_with_retry(fn, attempts=3)
+        assert fn.calls == 3
+
+    def test_non_retryable_propagates_immediately(self):
+        fn = Flaky(1, UniqueViolationError("dup"))
+        with pytest.raises(UniqueViolationError):
+            run_with_retry(fn, attempts=5)
+        assert fn.calls == 1
+
+    def test_on_retry_sees_every_failure(self):
+        seen = []
+        fn = Flaky(4, DeadlockError("d"))
+        with pytest.raises(DeadlockError):
+            run_with_retry(
+                fn,
+                attempts=3,
+                on_retry=lambda n, exc: seen.append((n, type(exc))),
+            )
+        # called for every retryable failure, including the final one
+        assert seen == [
+            (1, DeadlockError),
+            (2, DeadlockError),
+            (3, DeadlockError),
+        ]
+
+    def test_backoff_is_jittered_and_bounded(self, monkeypatch):
+        delays = []
+        monkeypatch.setattr(
+            "repro.harness.driver.time.sleep", delays.append
+        )
+        fn = Flaky(4, LockTimeoutError("t"))
+        run_with_retry(
+            fn,
+            attempts=5,
+            base_backoff=0.010,
+            max_backoff=0.020,
+            rng=random.Random(7),
+        )
+        assert len(delays) == 4
+        # exponential growth up to the cap, jittered in [0.5x, 1.5x)
+        bases = [0.010, 0.020, 0.020, 0.020]
+        for delay, base in zip(delays, bases):
+            assert 0.5 * base <= delay < 1.5 * base
+
+    def test_seeded_rng_is_deterministic(self, monkeypatch):
+        def run():
+            delays = []
+            monkeypatch.setattr(
+                "repro.harness.driver.time.sleep", delays.append
+            )
+            fn = Flaky(3, DeadlockError("d"))
+            run_with_retry(
+                fn,
+                attempts=5,
+                base_backoff=0.001,
+                rng=random.Random(42),
+            )
+            return delays
+
+        assert run() == run()
+
+    def test_zero_backoff_never_sleeps(self, monkeypatch):
+        def no_sleep(_):  # pragma: no cover - should not be called
+            raise AssertionError("slept with base_backoff=0")
+
+        monkeypatch.setattr("repro.harness.driver.time.sleep", no_sleep)
+        fn = Flaky(2, DeadlockError("d"))
+        assert run_with_retry(fn, attempts=5) == "done"

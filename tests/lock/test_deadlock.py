@@ -99,6 +99,47 @@ class TestThreePartyDeadlock:
         assert "victim" in outcomes.values()
         assert list(outcomes.values()).count("granted") >= 1
 
+    def test_cycle_of_three_aborts_youngest_and_counts(self):
+        """Stage a deterministic 1→2→3→1 cycle: the *youngest* member
+        (highest owner id, i.e. the most recently begun transaction) is
+        the victim, the two older transactions proceed, and the
+        ``lock.deadlocks`` counter records exactly one deadlock."""
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry(enabled=True)
+        lm = LockManager(default_timeout=10.0, metrics=registry)
+        for owner, name in ((1, "a"), (2, "b"), (3, "c")):
+            lm.acquire(owner, name, X)
+        outcomes = {}
+
+        def make(owner, want, delay):
+            def work():
+                time.sleep(delay)
+                try:
+                    lm.acquire(owner, want, X)
+                    outcomes[owner] = "granted"
+                except DeadlockError:
+                    outcomes[owner] = "victim"
+                finally:
+                    lm.release_all(owner)
+
+            return work
+
+        # 1 and 2 queue up first; 3's request closes the cycle, so the
+        # detector sees {1, 2, 3} and must pick 3 (the youngest).
+        run_all(
+            [
+                make(1, "b", 0.0),
+                make(2, "c", 0.05),
+                make(3, "a", 0.15),
+            ]
+        )
+        assert outcomes[3] == "victim"
+        assert outcomes[1] == "granted"
+        assert outcomes[2] == "granted"
+        assert lm.stats.deadlocks == 1
+        assert registry.snapshot()["lock"]["deadlocks"] == 1
+
 
 class TestConversionDeadlock:
     def test_double_upgrade_deadlocks(self):

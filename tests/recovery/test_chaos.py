@@ -1,0 +1,163 @@
+"""End-to-end chaos trials: every fault class, detected and recovered.
+
+The hard requirement of DESIGN.md §9: every injected fault kind has a
+seeded trial demonstrating detection plus either full recovery or a
+typed error — never silent corruption.  Trials are bit-for-bit
+reproducible from their seed.
+"""
+
+import pytest
+
+from repro.database import Database
+from repro.errors import TornPageError
+from repro.ext.btree import BTreeExtension, Interval
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.harness.chaos import ChaosHarness
+
+
+def result_fingerprint(result) -> tuple:
+    """The trial facts that must be identical run-to-run."""
+    return (
+        result.ok,
+        result.committed_txns,
+        result.uncommitted_txns,
+        result.io_retries,
+        result.torn_pages_detected,
+        result.torn_pages_healed,
+        result.tail_records_dropped,
+        result.lost_commits,
+        result.typed_failures,
+        tuple(result.fault_log),
+        tuple(result.errors),
+    )
+
+
+class TestEachFaultKind:
+    """One seeded trial per fault class, each must detect + recover."""
+
+    @pytest.mark.parametrize("kind", list(FaultKind), ids=lambda k: k.value)
+    def test_single_kind_trials_recover(self, kind):
+        harness = ChaosHarness(kinds={kind})
+        results = [harness.run_trial(seed) for seed in range(3)]
+        assert all(r.ok for r in results), [r.errors for r in results]
+
+    def test_all_kinds_combined(self):
+        harness = ChaosHarness()
+        results = harness.run_many(5, base_seed=100)
+        assert all(r.ok for r in results), [r.errors for r in results]
+        # across the batch, faults actually fired
+        assert sum(r.faults_injected for r in results) > 0
+
+    def test_mid_smo_crash_with_faults(self):
+        harness = ChaosHarness()
+        results = [
+            harness.run_trial(seed, crash_mid_smo=True)
+            for seed in range(200, 204)
+        ]
+        assert all(r.ok for r in results), [r.errors for r in results]
+
+
+class TestReproducibility:
+    def test_trials_are_bit_for_bit_reproducible(self):
+        for seed in range(4):
+            a = ChaosHarness().run_trial(seed)
+            b = ChaosHarness().run_trial(seed)
+            assert result_fingerprint(a) == result_fingerprint(b)
+
+
+class TestWalTailLoss:
+    def find_commit_losing_seed(self):
+        harness = ChaosHarness(kinds={FaultKind.WAL_TAIL_LOSS})
+        for seed in range(40):
+            result = harness.run_trial(seed)
+            assert result.ok, result.errors
+            if result.lost_commits > 0:
+                return result
+        pytest.fail("no seed lost a commit to tail loss")
+
+    def test_commit_in_lost_tail_is_rolled_back(self):
+        """A committed transaction whose commit record fell into the
+        torn tail must be treated as a loser — and the oracle verifies
+        its effects are gone (the trial's contents check)."""
+        result = self.find_commit_losing_seed()
+        assert result.contents_match
+        assert result.structure_ok
+
+    def test_tail_corruption_is_truncated(self):
+        harness = ChaosHarness(kinds={FaultKind.WAL_TAIL_CORRUPT})
+        results = [harness.run_trial(seed) for seed in range(6)]
+        assert all(r.ok for r in results), [r.errors for r in results]
+        assert any(r.tail_records_dropped > 0 for r in results)
+
+
+class TestTornPageHealing:
+    def test_torn_page_healed_across_restart(self):
+        """A torn image persisted before the crash is rebuilt by redo's
+        full-log replay instead of fatally rejecting recovery."""
+        plan = FaultPlan([FaultSpec(FaultKind.TORN_WRITE, op_index=2)])
+        db = Database(
+            page_capacity=4, fault_plan=plan, io_retry_backoff=0.0
+        )
+        tree = db.create_tree("t", BTreeExtension())
+        txn = db.begin()
+        for i in range(30):  # enough inserts to split + evict + rewrite
+            tree.insert(txn, i, f"r{i}")
+        db.commit(txn)
+        db.pool.flush_all()  # one of these writes was torn
+        assert "torn_write" in " ".join(plan.injected)
+        db.crash()
+        db2 = db.restart({"t": BTreeExtension()})
+        report = db2.recovery_report
+        txn = db2.begin()
+        found = {rid for _, rid in tree_search_all(db2, "t")}
+        db2.commit(txn)
+        assert found == {f"r{i}" for i in range(30)}
+        assert report.torn_pages_healed >= 1
+
+    def test_runtime_heal_via_wal_replay(self):
+        """A torn page read back at runtime (after eviction) is healed
+        in place by the database's page rebuilder."""
+        plan = FaultPlan([FaultSpec(FaultKind.TORN_WRITE, op_index=2)])
+        db = Database(
+            page_capacity=4,
+            pool_capacity=10,
+            fault_plan=plan,
+            io_retry_backoff=0.0,
+        )
+        tree = db.create_tree("t", BTreeExtension())
+        txn = db.begin()
+        for i in range(60):  # small pool: pages evict and re-read
+            tree.insert(txn, i, f"r{i}")
+        found = {rid for _, rid in tree.search(txn, Interval(0, 1000))}
+        db.commit(txn)
+        assert found == {f"r{i}" for i in range(60)}
+        # the torn page was re-read through the pool and healed in place
+        # — and no torn data was ever *returned* (the search saw every
+        # insert)
+        assert "torn_write" in " ".join(plan.injected)
+        assert db.metrics.counter("storage.torn_pages_healed").value >= 1
+
+    def test_torn_page_without_wal_coverage_surfaces(self):
+        """No log history for the page -> the typed error must surface
+        instead of fabricating contents."""
+        plan = FaultPlan([FaultSpec(FaultKind.TORN_WRITE, op_index=2)])
+        db = Database(page_capacity=4, fault_plan=plan)
+        # write page images directly, bypassing the WAL
+        from repro.storage.page import LeafEntry, PageKind
+
+        page = db.store.new_page(PageKind.LEAF)
+        page.add_entry(LeafEntry(1, "a"))
+        db.store.write(page)
+        page.add_entry(LeafEntry(2, "b"))
+        db.store.write(page)  # torn
+        with pytest.raises(TornPageError):
+            db.pool.pin(page.pid)
+
+
+def tree_search_all(db, name):
+    tree = db.tree(name)
+    txn = db.begin()
+    try:
+        return tree.search(txn, Interval(0, 10_000))
+    finally:
+        db.commit(txn)
