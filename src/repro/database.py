@@ -322,10 +322,19 @@ class Database:
         covered) rather than fatally rejected.  Returns ``None`` when
         no log record mentions the page — unrecoverable, so the typed
         error surfaces instead.
+
+        The replay is bounded at ``flushed_lsn``: the pool persists the
+        healed image, and a durable page must never depend on log
+        records that a crash could still discard (the WAL rule).  The
+        torn image only reached disk after a flush that forced the log
+        through its intended page_lsn, so the durable prefix always
+        covers the full intended image.
         """
         from repro.wal.recovery import rebuild_page_from_log
 
-        return rebuild_page_from_log(self.log, self.store, pid)
+        return rebuild_page_from_log(
+            self.log, self.store, pid, upto=self.log.flushed_lsn
+        )
 
     # ------------------------------------------------------------------
     # the undo executor (Table 1's undo column)

@@ -227,6 +227,12 @@ class FaultPlan:
                 count = per_pid if spec.pid is not None else self._writes_total
                 if spec.kind is FaultKind.PERMANENT_WRITE:
                     if count >= spec.op_index:
+                        # Disarm on first fire: the page that triggered
+                        # the fault stays permanently unwritable (sticky
+                        # via _poisoned_writes), but other pages keep
+                        # writing cleanly — a single bad sector, not a
+                        # whole-disk failure.
+                        spec._armed = False
                         self._poisoned_writes.add(pid)
                         self.injected.append(
                             f"permanent_write pid={pid} write#{count}"

@@ -55,7 +55,9 @@ class ChaosTrialResult(CrashTrialResult):
     fault_log: list[str] = field(default_factory=list)
     #: transient-read retries the buffer pool performed
     io_retries: int = 0
+    #: runtime (pre-crash) checksum-mismatch detections by the pool
     torn_pages_detected: int = 0
+    #: heals across both phases: runtime rebuilds + recovery rebuilds
     torn_pages_healed: int = 0
     write_faults: int = 0
     #: log records recovery truncated at the first bad checksum
@@ -250,7 +252,9 @@ class ChaosHarness(CrashRecoveryHarness):
         result.recovered_ok = True
         report = db2.recovery_report
         result.tail_records_dropped = report.tail_records_dropped
-        result.torn_pages_detected += report.torn_pages_healed
+        # torn_pages_detected stays the pre-crash runtime snapshot;
+        # recovery-phase heals only add to the healed tally (recovery
+        # already counts its own detections in db2's metrics).
         result.torn_pages_healed += report.torn_pages_healed
         result.fault_log = list(plan.injected)
         result.faults_injected = len(plan.injected)

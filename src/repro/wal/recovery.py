@@ -308,22 +308,42 @@ class RestartRecovery:
     # undo
     # ------------------------------------------------------------------
     def _undo(self, att: dict[int, int]) -> None:
+        """Roll back every loser in one ARIES backward sweep.
+
+        All losers are undone together, always taking the record with
+        the highest LSN among every transaction's next-undo point — not
+        transaction by transaction.  The interleaving matters: a loser's
+        structure-modification undo (e.g. un-splitting a page from the
+        record's stored entry list) must run *before* the lower-LSN
+        undos of other losers whose entries that page image contains,
+        or it would resurrect entries an earlier logical undo already
+        removed.
+        """
         log = self.db.log
         self.db.in_restart = True
         try:
-            for xid, last_lsn in sorted(att.items()):
-                self.report.losers.append(xid)
-                lsn = last_lsn
-                while lsn != NULL_LSN:
-                    record = log.get(lsn)
-                    if record.undo_next is not None:
-                        lsn = record.undo_next
-                        continue
+            self.report.losers.extend(sorted(att))
+            todo = {
+                xid: lsn for xid, lsn in att.items() if lsn != NULL_LSN
+            }
+            finished = sorted(set(att) - set(todo))
+            while todo:
+                xid, lsn = max(todo.items(), key=lambda kv: kv[1])
+                record = log.get(lsn)
+                if record.undo_next is not None:
+                    nxt = record.undo_next
+                else:
                     if record.undoable:
                         log.set_last_lsn(xid, lsn)
                         self.db._undo_record(record, xid)
                         self.report.undone_records += 1
-                    lsn = record.prev_lsn
+                    nxt = record.prev_lsn
+                if nxt == NULL_LSN:
+                    del todo[xid]
+                    finished.append(xid)
+                else:
+                    todo[xid] = nxt
+            for xid in finished:
                 log.set_last_lsn(xid, log.last_lsn_of(xid))
                 log.append(EndRecord(xid=xid))
         finally:
