@@ -262,6 +262,60 @@ def test_fault_machinery_dormant_on_hot_path(benchmark, emit):
     assert store.stats.faults_injected == 0
 
 
+def test_protocol_checks_dormant_on_hot_path(benchmark, emit, monkeypatch):
+    """With protocol checks off (the default), the lockdep layer must be
+    structurally absent: no witness object exists anywhere in the
+    assembly, and the resident-pin hot path performs exactly the
+    contractual number of shard-lock acquisitions (home = pin + unpin
+    per round + snapshot, others = snapshot only) — zero extra lock
+    acquisitions of any kind."""
+    monkeypatch.delenv("REPRO_PROTOCOL_CHECKS", raising=False)
+    out: dict = {}
+
+    def run():
+        out.clear()
+        out.update(measure_shard_locality())
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    home, deltas = out["home"], out["deltas"]
+    emit(
+        f"HOTPATH — lockdep dormant: shard lock acquisitions pinning "
+        f"one resident page {PIN_ROUNDS}x with protocol checks off",
+        [
+            {
+                "shard": i,
+                "lock_acquisitions": d,
+                "role": "home" if i == home else "other",
+            }
+            for i, d in enumerate(deltas)
+        ],
+        columns=["shard", "lock_acquisitions", "role"],
+    )
+    for i, delta in enumerate(deltas):
+        expected = 2 * PIN_ROUNDS + 1 if i == home else 1
+        assert delta == expected, (
+            "lockdep machinery added lock acquisitions to the "
+            f"resident-pin path: shard {i} took {delta}, expected "
+            f"{expected}"
+        )
+    # checks off => no witness is constructed or attached anywhere
+    db = Database(page_capacity=8, pool_capacity=64, pool_shards=2)
+    assert db.protocol_checks is False
+    assert db.witness is None
+    assert db.store.witness is None
+    assert db.locks.witness is None
+    assert db.pool._witness is None
+    tree = db.create_tree("hot", BTreeExtension())
+    txn = db.begin()
+    for i in range(32):
+        tree.insert(txn, i, f"r{i}")
+    db.commit(txn)
+    # frame latches were built without a witness binding too
+    root_latch = db.pool.pin(tree.root_pid).latch
+    db.pool.unpin(tree.root_pid)
+    assert root_latch.witness is None
+
+
 def test_sharded_pool_wall_clock(benchmark, emit):
     """Context only — throughput of the mixed threaded workload under
     1 shard vs 8.  No tight gate (wall clock is noisy here); the

@@ -1,0 +1,602 @@
+"""AST-based protocol linter for the latch/pin/fault discipline.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.analysis.lint src/repro
+
+Rules (see DESIGN.md §10 for the paper citations):
+
+``latch-release``
+    Every latch/mutex ``acquire()`` and every ``pool.fix()`` must be
+    released on all paths — the call must sit inside (or be the
+    statement immediately before) a ``try`` whose ``finally`` or
+    handlers perform the release, or inside a ``with`` manager.
+``pin-balance``
+    Every ``pin()`` must be paired with ``unpin()``/``unfix()`` on all
+    exit paths, under the same structural criterion.
+``io-under-latch``
+    No I/O-class call (``PageStore.read``/``write``, ``_io_stall``,
+    ``time.sleep``) lexically inside a latch- or mutex-held region.
+``lock-wait-under-latch``
+    No blocking ``LockManager.acquire`` (without ``wait=False``)
+    lexically inside a latch-held region.
+``bare-except``
+    No bare ``except:`` clauses.
+``swallowed-fault``
+    No trivial handler (``pass``/``continue``/``return None``) that
+    catches ``StorageFaultError`` or anything broader without
+    re-raising — storage faults must surface or be handled for real.
+
+Suppressions: ``# lint: allow(rule)`` or ``# lint: allow(rule): why``
+on the offending line silences that rule there; on a ``def`` line it
+silences the rule for the whole function (used for hand-over-hand
+crabbing and ownership-transfer helpers, where release-on-all-paths is
+a caller obligation).  ``# lint: allow-file(rule)`` anywhere in a file
+silences the rule file-wide (used by the deliberately-unsafe
+baselines).  Every suppression doubles as protocol documentation.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+RULES: dict[str, str] = {
+    "latch-release": "latch/mutex acquire not released on all paths",
+    "pin-balance": "pin() not paired with unpin()/unfix() on all paths",
+    "io-under-latch": "I/O-class call inside a latch/mutex-held region",
+    "lock-wait-under-latch": "blocking lock wait inside a latch-held "
+    "region",
+    "bare-except": "bare `except:` clause",
+    "swallowed-fault": "StorageFaultError swallowed by a trivial "
+    "handler",
+}
+
+#: exception names that catch StorageFaultError (itself, its subtypes'
+#: common parents, or anything broader)
+FAULT_CATCHERS = frozenset(
+    {
+        "StorageFaultError",
+        "PageError",
+        "ReproError",
+        "Exception",
+        "BaseException",
+    }
+)
+
+#: method names whose presence in a finally/handler counts as cleanup
+CLEANUP_ATTRS = frozenset(
+    {"release", "unfix", "unpin", "release_thread_fixes", "close"}
+)
+
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(([^)]*)\)")
+_ALLOW_FILE_RE = re.compile(r"#\s*lint:\s*allow-file\(([^)]*)\)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+# ----------------------------------------------------------------------
+# helpers
+
+
+def _receiver(call: ast.Call) -> str:
+    """Source text of the attribute receiver (``a.b`` for ``a.b.c()``)."""
+    if isinstance(call.func, ast.Attribute):
+        try:
+            return ast.unparse(call.func.value)
+        except Exception:  # pragma: no cover - defensive
+            return ""
+    return ""
+
+
+def _attr(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return ""
+
+
+def _kw(call: ast.Call, name: str):
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _is_false(node) -> bool:
+    return isinstance(node, ast.Constant) and node.value is False
+
+
+def _is_latch_acquire(call: ast.Call) -> bool:
+    """``x.acquire(...)`` where the receiver looks like a latch/mutex."""
+    if _attr(call) != "acquire":
+        return False
+    recv = _receiver(call).lower()
+    return any(
+        token in recv for token in ("latch", "lock", "mutex", "cond")
+    ) and "locks" not in recv
+
+
+def _is_lock_acquire(call: ast.Call) -> bool:
+    """Transactional ``LockManager.acquire`` (deadlock-detected side)."""
+    if _attr(call) != "acquire":
+        return False
+    recv = _receiver(call).lower()
+    return "locks" in recv or recv.endswith("lock_manager")
+
+
+def _is_fix(call: ast.Call) -> bool:
+    return _attr(call) == "fix"
+
+
+def _is_pin(call: ast.Call) -> bool:
+    return _attr(call) == "pin"
+
+
+def _is_io_call(call: ast.Call) -> bool:
+    attr = _attr(call)
+    recv = _receiver(call).lower()
+    if attr in {"read", "write"} and "store" in recv:
+        return True
+    if attr == "sleep":  # time.sleep / module-level sleep
+        return True
+    if attr == "_io_stall":
+        return True
+    return False
+
+
+def _contains_cleanup(nodes: list[ast.stmt]) -> bool:
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and _attr(node) in CLEANUP_ATTRS:
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# per-file checker
+
+
+class _FileChecker:
+    def __init__(self, path: Path, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.findings: list[Finding] = []
+        self.line_allows: dict[int, set[str]] = {}
+        self.file_allows: set[str] = set()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            m = _ALLOW_RE.search(line)
+            if m:
+                rules = {
+                    r.strip() for r in m.group(1).split(",") if r.strip()
+                }
+                self.line_allows.setdefault(lineno, set()).update(rules)
+            m = _ALLOW_FILE_RE.search(line)
+            if m:
+                self.file_allows.update(
+                    r.strip() for r in m.group(1).split(",") if r.strip()
+                )
+        # parent links + enclosing-function map
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+
+    # -- suppression ----------------------------------------------------
+
+    def _allowed(self, rule: str, node: ast.AST) -> bool:
+        if rule in self.file_allows or "*" in self.file_allows:
+            return True
+        lines = {getattr(node, "lineno", 0)}
+        end = getattr(node, "end_lineno", None)
+        if end is not None:
+            lines.add(end)
+        for line in lines:
+            allows = self.line_allows.get(line, ())
+            if rule in allows or "*" in allows:
+                return True
+        # def-level allow covers the whole function body
+        fn = self._enclosing_function(node)
+        while fn is not None:
+            allows = self.line_allows.get(fn.lineno, ())
+            if rule in allows or "*" in allows:
+                return True
+            fn = self._enclosing_function(fn)
+        return False
+
+    def _enclosing_function(self, node: ast.AST):
+        cur = self.parents.get(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cur
+            cur = self.parents.get(cur)
+        return None
+
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        if self._allowed(rule, node):
+            return
+        self.findings.append(
+            Finding(str(self.path), node.lineno, rule, message)
+        )
+
+    # -- structural protection ------------------------------------------
+
+    def _protected(self, node: ast.AST) -> bool:
+        """True if the acquisition at ``node`` is structurally released.
+
+        Accepted shapes: the call is inside the body of a ``try`` whose
+        ``finally`` or handlers contain a cleanup call; the statement
+        *immediately after* the call's statement is such a ``try`` (the
+        canonical ``x = acquire(); try: ... finally: release(x)``
+        idiom); or the call sits in a ``with`` item (context manager
+        owns the release).
+        """
+        # inside a with-item: the manager releases
+        cur: ast.AST | None = node
+        while cur is not None:
+            parent = self.parents.get(cur)
+            if isinstance(parent, ast.withitem):
+                return True
+            if isinstance(parent, ast.Try):
+                in_body = any(
+                    cur is stmt or self._is_descendant(cur, stmt)
+                    for stmt in parent.body
+                )
+                if in_body and self._try_cleans_up(parent):
+                    return True
+            cur = parent
+        # next-sibling try/finally, checked at every enclosing statement
+        # level up to the function boundary: covers both
+        #   x = acquire(); try: ... finally: release(x)
+        # and
+        #   try: x = acquire() except PageError: return
+        #   try: ... finally: release(x)
+        cur = node
+        while cur is not None and not isinstance(
+            cur, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            if isinstance(cur, ast.stmt):
+                parent = self.parents.get(cur)
+                for fieldname in ("body", "orelse", "finalbody"):
+                    block = getattr(parent, fieldname, None)
+                    if isinstance(block, list) and cur in block:
+                        idx = block.index(cur)
+                        if idx + 1 < len(block):
+                            nxt = block[idx + 1]
+                            if isinstance(nxt, ast.Try) and (
+                                self._try_cleans_up(nxt)
+                            ):
+                                return True
+            cur = self.parents.get(cur)
+        return False
+
+    @staticmethod
+    def _try_cleans_up(try_node: ast.Try) -> bool:
+        if _contains_cleanup(try_node.finalbody):
+            return True
+        for handler in try_node.handlers:
+            if _contains_cleanup(handler.body):
+                return True
+        return False
+
+    def _is_descendant(self, node: ast.AST, ancestor: ast.AST) -> bool:
+        cur = node
+        while cur is not None:
+            if cur is ancestor:
+                return True
+            cur = self.parents.get(cur)
+        return False
+
+    # -- passes ---------------------------------------------------------
+
+    def run(self) -> list[Finding]:
+        self._check_acquire_release()
+        self._check_handlers()
+        self._check_regions()
+        return self.findings
+
+    def _check_acquire_release(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _is_latch_acquire(node) or _is_fix(node):
+                nowait = _kw(node, "nowait")
+                if nowait is not None and not _is_false(nowait):
+                    # conditional grant: the caller must branch on the
+                    # result; structural pairing can't be checked here
+                    continue
+                if not self._protected(node):
+                    what = (
+                        f"{_receiver(node)}.{_attr(node)}" or _attr(node)
+                    )
+                    self._report(
+                        "latch-release",
+                        node,
+                        f"`{what}()` is not released on all paths "
+                        "(wrap in try/finally, a context manager, or "
+                        "follow immediately with a try whose cleanup "
+                        "releases it)",
+                    )
+            elif _is_pin(node):
+                if not self._protected(node):
+                    self._report(
+                        "pin-balance",
+                        node,
+                        f"`{_receiver(node)}.pin()` has no structurally "
+                        "paired unpin()/unfix() on all exit paths",
+                    )
+
+    def _check_handlers(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            fault_reraised_earlier = False
+            for handler in node.handlers:
+                if handler.type is None:
+                    self._report(
+                        "bare-except",
+                        handler,
+                        "bare `except:` catches everything including "
+                        "KeyboardInterrupt; name the exception",
+                    )
+                    continue
+                names = self._handler_names(handler)
+                catches_fault = bool(names & FAULT_CATCHERS)
+                if (
+                    catches_fault
+                    and self._reraises(handler)
+                    and names
+                    & {"StorageFaultError", "PageError", "ReproError"}
+                ):
+                    fault_reraised_earlier = True
+                    continue
+                if (
+                    catches_fault
+                    and self._trivial_body(handler.body)
+                    and not self._reraises(handler)
+                    and not fault_reraised_earlier
+                ):
+                    self._report(
+                        "swallowed-fault",
+                        handler,
+                        f"handler for {sorted(names)} silently discards "
+                        "StorageFaultError; re-raise faults or handle "
+                        "them explicitly",
+                    )
+
+    @staticmethod
+    def _handler_names(handler: ast.ExceptHandler) -> set[str]:
+        names: set[str] = set()
+        node = handler.type
+        items = node.elts if isinstance(node, ast.Tuple) else [node]
+        for item in items:
+            if isinstance(item, ast.Name):
+                names.add(item.id)
+            elif isinstance(item, ast.Attribute):
+                names.add(item.attr)
+        return names
+
+    @staticmethod
+    def _trivial_body(body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+                continue
+            if isinstance(stmt, ast.Return) and (
+                stmt.value is None
+                or (
+                    isinstance(stmt.value, ast.Constant)
+                    and stmt.value.value in (None, False, True)
+                )
+            ):
+                continue
+            return False
+        return True
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+        return False
+
+    # -- lexical latch-held regions -------------------------------------
+
+    def _check_regions(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _RegionScanner(self).scan_function(node)
+
+
+class _RegionScanner:
+    """Straight-line scan of a function body tracking lexical latch
+    depth; flags I/O-class calls and blocking lock waits while > 0."""
+
+    #: with-item attribute names that open a held region
+    _REGION_SUFFIXES = ("lock", "mutex", "cond", "_cv")
+
+    def __init__(self, checker: _FileChecker) -> None:
+        self.checker = checker
+        self.depth = 0
+
+    def scan_function(self, fn) -> None:
+        self.depth = 0
+        self._scan_block(fn.body)
+
+    def _scan_block(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._scan_stmt(stmt)
+
+    def _scan_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs scanned separately
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            entered = 0
+            for item in stmt.items:
+                if self._with_item_holds(item.context_expr):
+                    entered += 1
+            self.depth += entered
+            self._scan_block(stmt.body)
+            self.depth = max(0, self.depth - entered)
+            return
+        if isinstance(stmt, ast.Try):
+            self._scan_block(stmt.body)
+            for handler in stmt.handlers:
+                self._scan_block(handler.body)
+            self._scan_block(stmt.orelse)
+            self._scan_block(stmt.finalbody)
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._visit_calls(stmt.test)
+            self._scan_block(stmt.body)
+            self._scan_block(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._visit_calls(stmt.iter)
+            self._scan_block(stmt.body)
+            self._scan_block(stmt.orelse)
+            return
+        # simple statement: classify all calls in source order
+        self._visit_calls(stmt)
+
+    def _with_item_holds(self, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Call):
+            attr = _attr(expr)
+            if attr in {"fixed", "_locked", "locked"}:
+                return True
+            recv = _receiver(expr).lower()
+            if attr == "acquire" and any(
+                t in recv for t in ("latch", "mutex", "cond")
+            ):
+                return True
+            return False
+        try:
+            text = ast.unparse(expr).lower()
+        except Exception:  # lint: allow(swallowed-fault): AST guard
+            return False
+        return any(text.endswith(s) for s in self._REGION_SUFFIXES)
+
+    def _visit_calls(self, node: ast.AST) -> None:
+        calls = [
+            n for n in ast.walk(node) if isinstance(n, ast.Call)
+        ]
+        calls.sort(key=lambda c: (c.lineno, c.col_offset))
+        for call in calls:
+            if self.depth > 0 and _is_io_call(call):
+                self.checker._report(
+                    "io-under-latch",
+                    call,
+                    f"I/O-class call `{_attr(call)}` inside a "
+                    "latch/mutex-held region (paper §3 fn. 8: no latch "
+                    "is ever held across an I/O)",
+                )
+            if self.depth > 0 and _is_lock_acquire(call):
+                wait = _kw(call, "wait")
+                if wait is None or not _is_false(wait):
+                    self.checker._report(
+                        "lock-wait-under-latch",
+                        call,
+                        "potentially-blocking lock acquire inside a "
+                        "latch-held region (probe with wait=False or "
+                        "release the latch first)",
+                    )
+            if _is_latch_acquire(call) or _is_fix(call):
+                nowait = _kw(call, "nowait")
+                if nowait is None or _is_false(nowait):
+                    self.depth += 1
+            elif _attr(call) == "unfix" or (
+                _attr(call) == "release"
+                and any(
+                    t in _receiver(call).lower()
+                    for t in ("latch", "mutex", "cond")
+                )
+            ):
+                self.depth = max(0, self.depth - 1)
+            elif _attr(call) == "release_thread_fixes":
+                self.depth = 0
+
+
+# ----------------------------------------------------------------------
+# driver
+
+
+def iter_py_files(paths: list[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def lint_file(path: Path) -> list[Finding]:
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                str(path),
+                exc.lineno or 0,
+                "parse-error",
+                f"cannot parse: {exc.msg}",
+            )
+        ]
+    return _FileChecker(path, source, tree).run()
+
+
+def lint_paths(paths: list[str | Path]) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in iter_py_files(paths):
+        findings.extend(lint_file(path))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="protocol linter for the latch/pin/fault discipline",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"])
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rule ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in sorted(RULES.items()):
+            print(f"{rule}: {desc}")
+        return 0
+
+    findings = lint_paths(args.paths or ["src/repro"])
+    for finding in findings:
+        print(finding)
+    n = len(findings)
+    files = len(iter_py_files(args.paths or ["src/repro"]))
+    print(
+        f"{n} finding{'s' if n != 1 else ''} in {files} files",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

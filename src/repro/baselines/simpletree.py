@@ -140,7 +140,12 @@ class BaselineTree:
         new_page = self.store.new_page(page.kind, page.level)
         new_frame = self.pool.adopt(new_page)
         self.pool.pin(new_page.pid)
-        new_frame.latch.acquire(LatchMode.X)
+        try:
+            new_frame.latch.acquire(LatchMode.X)
+        except BaseException:
+            # never strand the pin if the latch grant fails
+            self.pool.unpin(new_page.pid)
+            raise
         new_page.entries = [page.entries[i].copy() for i in move_idx]
         page.entries = [page.entries[i] for i in stay_idx]
         self._recompute_bp(new_page)
@@ -404,7 +409,7 @@ class LinkTree(BaselineTree):
             except _Restart:
                 self.stats.bump("restarts")
 
-    def _try_insert(self, key: object, rid: object) -> None:
+    def _try_insert(self, key: object, rid: object) -> None:  # lint: allow(latch-release): lock-coupling descent; leaf frame handed down the function
         hints: list[PageId] = []  # visited ancestors, for parent fixing
         pid = self.root_pid
         memo = self._nsn_current()
@@ -430,7 +435,7 @@ class LinkTree(BaselineTree):
         frame.dirty = True
         self.pool.unfix(frame)
 
-    def _follow_chain(self, frame: Frame, memo: int, key: object) -> Frame:
+    def _follow_chain(self, frame: Frame, memo: int, key: object) -> Frame:  # lint: allow(latch-release): rightlink crabbing; best frame transfers to caller
         """Walk the split chain delimited by ``memo`` and keep the
         min-penalty node latched (at most two latches, left-to-right)."""
         mode = frame.latch.held_by_me() or LatchMode.X
@@ -458,7 +463,7 @@ class LinkTree(BaselineTree):
             self.pool.unfix(current)
         return best
 
-    def _fix_parent_x(self, child_pid: PageId, hints: list[PageId]) -> Frame:
+    def _fix_parent_x(self, child_pid: PageId, hints: list[PageId]) -> Frame:  # lint: allow(latch-release): walk returns the X-latched parent to the caller
         """X-latch the node currently holding ``child_pid``'s downlink."""
         pid = hints[-1] if hints else self.root_pid
         while pid != NO_PAGE:
@@ -634,7 +639,7 @@ class CouplingTree(_HeldPathTree):
         self._search_coupled(self.root_pid, None, query, results)
         return results
 
-    def _search_coupled(
+    def _search_coupled(  # lint: allow(latch-release): latch coupling ACROSS the child fetch is this baseline's defining (unsafe) behavior
         self,
         pid: PageId,
         parent: Frame | None,

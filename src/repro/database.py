@@ -16,6 +16,7 @@ recovery on it.
 
 from __future__ import annotations
 
+import os
 from typing import Mapping
 
 from repro.errors import ReproError, WALError
@@ -82,6 +83,15 @@ class Database:
         stays on either way.
     io_retries, io_retry_backoff:
         Transient-read retry policy forwarded to the buffer pool.
+    protocol_checks:
+        ``True`` attaches a :class:`repro.analysis.lockdep.LockdepWitness`
+        to the latches, buffer-shard mutexes, lock manager and page
+        store: lock-order cycles (potential ABBA deadlocks),
+        latch-held-across-I/O, latch-held-across-lock-wait and WAL-rule
+        violations are recorded as they happen (``protocol_report()``).
+        ``None`` (the default) reads the ``REPRO_PROTOCOL_CHECKS``
+        environment variable; ``False``/unset keeps every hot path free
+        of witness calls (counter-asserted in ``bench_hotpath``).
     """
 
     def __init__(
@@ -101,6 +111,7 @@ class Database:
         fault_plan: FaultPlan | None = None,
         io_retries: int = 4,
         io_retry_backoff: float = 0.001,
+        protocol_checks: bool | None = None,
     ) -> None:
         self.metrics = MetricsRegistry(enabled=metrics_enabled)
         self.pool_shards = pool_shards
@@ -144,6 +155,23 @@ class Database:
         )
         self.txns = TransactionManager(self.log, self.locks, predicates=self)
         self.txns.undo_executor = self._undo_record
+        if protocol_checks is None:
+            env = os.environ.get("REPRO_PROTOCOL_CHECKS", "")
+            protocol_checks = env.lower() not in ("", "0", "false", "off")
+        self.protocol_checks = bool(protocol_checks)
+        if self.protocol_checks:
+            from repro.analysis.lockdep import LockdepWitness
+
+            self.witness = LockdepWitness(
+                flushed_lsn=lambda: self.log.flushed_lsn
+            )
+        else:
+            self.witness = None
+        # The store (and its witness binding) survives restarts: always
+        # rebind/clear so a plain restart drops a stale witness.
+        self.store.witness = self.witness
+        self.pool.attach_witness(self.witness)
+        self.locks.witness = self.witness
         self.hooks = hooks or Hooks()
         self.trees: dict[str, GiST] = {}
         self.metrics.gauge(
@@ -309,9 +337,14 @@ class Database:
         config.setdefault("leaf_hints", self.leaf_hints)
         config.setdefault("io_retries", self.io_retries)
         config.setdefault("io_retry_backoff", self.io_retry_backoff)
+        config.setdefault("protocol_checks", self.protocol_checks)
         new_db = Database(store=self.store, log=self.log, **config)
         new_db.recovery_report = RestartRecovery(new_db, extensions).run()
         return new_db
+
+    def protocol_report(self):
+        """Lockdep report (``protocol_checks=True``), else ``None``."""
+        return None if self.witness is None else self.witness.report()
 
     def _rebuild_page(self, pid: int) -> "Page | None":
         """Rebuild a torn page's image by replaying its WAL history.

@@ -103,22 +103,25 @@ def _vacuum_node(
     tree: GiST, txn: Transaction, pid: PageId, report: VacuumReport
 ) -> None:
     pool = tree.db.pool
+    deletable = False
     frame = pool.fix(pid, LatchMode.X)
-    page = frame.page
-    if page.kind is PageKind.FREE:
+    try:
+        page = frame.page
+        if page.kind is PageKind.FREE:
+            return
+        if page.is_leaf:
+            report.leaves_visited += 1
+            report.entries_collected += tree._gc_leaf(txn, frame)
+        if len(page.entries) == 0:
+            deletable = True
+        elif _shrink_bp(tree, txn, frame):
+            report.bps_shrunk += 1
+    finally:
         pool.unfix(frame)
-        return
-    if page.is_leaf:
-        report.leaves_visited += 1
-        report.entries_collected += tree._gc_leaf(txn, frame)
-    if len(page.entries) == 0:
-        pool.unfix(frame)
-        if _try_delete_node(tree, txn, pid, report):
-            report.nodes_deleted += 1
-        return
-    if _shrink_bp(tree, txn, frame):
-        report.bps_shrunk += 1
-    pool.unfix(frame)
+    # The deletion attempt runs unlatched: _try_delete_node re-fixes in
+    # the global latch order (left sibling, victim, parent).
+    if deletable and _try_delete_node(tree, txn, pid, report):
+        report.nodes_deleted += 1
 
 
 def _shrink_bp(tree: GiST, txn: Transaction, frame: "Frame") -> bool:
@@ -228,7 +231,12 @@ def _try_delete_node(
     # Latch order: left sibling, victim, parent — within-level
     # left-to-right, then bottom-up, consistent with splits.
     left = pool.fix(left_pid, LatchMode.X) if left_pid != NO_PAGE else None
-    victim_frame = pool.fix(victim, LatchMode.X)
+    try:
+        victim_frame = pool.fix(victim, LatchMode.X)
+    except BaseException:
+        if left is not None:
+            pool.unfix(left)
+        raise
     page = victim_frame.page
     if (
         page.entries
@@ -240,7 +248,13 @@ def _try_delete_node(
             pool.unfix(left)
         _note_drain_blocked(tree, victim, report, probe="revalidate")
         return False
-    parent = tree._fix_parent(txn, victim, [])
+    try:
+        parent = tree._fix_parent(txn, victim, [])
+    except BaseException:
+        pool.unfix(victim_frame)
+        if left is not None:
+            pool.unfix(left)
+        raise
     # Second drain probe, now under *all three* latches.  New references
     # are only ever taken while holding the latch of the node the
     # pointer was read from — the parent (downlink) or the left sibling

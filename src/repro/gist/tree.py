@@ -266,7 +266,7 @@ class GiST:
             page.pid, page.nsn, self._hint_epoch
         )
 
-    def _try_hinted_leaf(
+    def _try_hinted_leaf(  # lint: allow(latch-release): returns a latched frame (ownership transfers to caller); fault unwinds swept by _fault_cleanup
         self, txn: Transaction, key: object
     ) -> Frame | None:
         """Validate the thread's insert hint for ``key``.
@@ -371,7 +371,10 @@ class GiST:
         try:
             if hinted_query != query:
                 return None
+        except StorageFaultError:
+            raise
         except Exception:
+            # exotic __eq__ on a user query type: treat as a hint miss
             return None
         if not self.ext.hint_point_query(query):
             return None
@@ -718,7 +721,7 @@ class GiST:
         for entry in stack:
             self._release_signaling(txn, entry.pid)
 
-    def _locate_leaf(
+    def _locate_leaf(  # lint: allow(latch-release): hand-over-hand descent; the returned leaf frame is latched for the caller
         self, txn: Transaction, key: object
     ) -> tuple[Frame, list[StackEntry]]:
         """Figure 4's ``locateLeaf``: min-penalty descent, no coupling.
@@ -792,7 +795,7 @@ class GiST:
             pool.unfix(frame)
             pid, memo = child_entry.pid, child_entry.memo
 
-    def _choose_in_chain(
+    def _choose_in_chain(  # lint: allow(latch-release): rightlink crabbing holds ≤2 latches left-to-right; best frame transfers to caller
         self, txn: Transaction, frame: Frame, memo: int, key: object
     ) -> Frame:
         """Walk the rightlink chain delimited by ``memo``; keep the
@@ -877,101 +880,117 @@ class GiST:
         # Latch the (correct) parent first, per Figure 4.
         parent = self._fix_parent(txn, page.pid, stack)
 
-        # Allocate and build the new right sibling.
-        new_pid = self.db.store.allocate()
-        get_rec = GetPageRecord(xid=txn.xid, page_id=new_pid)
-        log.append(get_rec)
-        new_page = Page(
-            pid=new_pid,
-            kind=page.kind,
-            level=page.level,
-            capacity=page.capacity,
-        )
-        new_frame = pool.adopt(new_page)
-        pool.pin(new_pid)
-        new_frame.latch.acquire(LatchMode.X)
-
-        stay_idx, move_idx = self._checked_pick_split(page)
-        moved = [page.entries[i].copy() for i in move_idx]
-        stay_preds = [self._entry_pred(page.entries[i]) for i in stay_idx]
-        moved_preds = [self._entry_pred(e) for e in moved]
-        split_rec = SplitRecord(
-            xid=txn.xid,
-            orig_pid=page.pid,
-            new_pid=new_pid,
-            moved_entries=moved,
-            level=page.level,
-            kind=page.kind,
-            old_nsn=page.nsn,
-            new_nsn=0,
-            old_rightlink=page.rightlink,
-            old_bp=page.bp,
-            orig_new_bp=self.ext.union(stay_preds),
-            new_page_bp=self.ext.union(moved_preds),
-            capacity=page.capacity,
-        )
-        lsn = log.append(split_rec)
-        # Section 3: increment the global counter, stamp the new value
-        # on the ORIGINAL node; the sibling inherits the old NSN and
-        # rightlink.  (With the LSN source the split record's own LSN is
-        # the new value.)
-        split_rec.new_nsn = self.nsn.next_for_split(lsn)
-        split_rec.redo_page(page)
-        frame.mark_dirty(lsn)
-        split_rec.redo_page(new_page)
-        new_frame.mark_dirty(lsn)
-        self.stats.bump("splits")
-        self.metrics.tracer.event(
-            "gist.split",
-            tree=self.name,
-            pid=page.pid,
-            new_pid=new_pid,
-            nsn=split_rec.new_nsn,
-        )
-
-        # Replicate predicate attachments consistent with the new BP
-        # (section 4.3) and the signaling locks (section 10.3).
-        self.predicates.replicate_for_split(
-            page.pid, new_pid, new_page.bp
-        )
-        self.db.locks.replicate_shared(
-            self.node_lock(page.pid), self.node_lock(new_pid)
-        )
-        self.db.hooks.fire(
-            "insert:after-split", pid=page.pid, new_pid=new_pid
-        )
-
-        # Install the new downlink in the parent, splitting it first if
-        # necessary (recursion stays inside the same atomic action).
-        if parent.page.is_full:
-            parent = self._split_node(
-                txn,
-                parent,
-                stack[:-1],
-                locate_child=page.pid,
+        new_frame: Frame | None = None
+        new_pinned = False
+        try:
+            # Allocate and build the new right sibling.
+            new_pid = self.db.store.allocate()
+            get_rec = GetPageRecord(xid=txn.xid, page_id=new_pid)
+            log.append(get_rec)
+            new_page = Page(
+                pid=new_pid,
+                kind=page.kind,
+                level=page.level,
+                capacity=page.capacity,
             )
-        add_rec = InternalEntryAddRecord(
-            xid=txn.xid,
-            page_id=parent.page.pid,
-            pred=new_page.bp,
-            child=new_pid,
-        )
-        lsn = log.append(add_rec)
-        add_rec.redo_page(parent.page)
-        parent.mark_dirty(lsn)
-        old_parent_pred = parent.page.find_child_entry(page.pid).pred
-        upd_rec = InternalEntryUpdateRecord(
-            xid=txn.xid,
-            page_id=parent.page.pid,
-            child=page.pid,
-            new_bp=page.bp,
-            old_bp=old_parent_pred,
-        )
-        lsn = log.append(upd_rec)
-        upd_rec.redo_page(parent.page)
-        parent.mark_dirty(lsn)
-        pool.unfix(parent)
+            new_frame = pool.adopt(new_page)
+            pool.pin(new_pid)
+            new_pinned = True
+            new_frame.latch.acquire(LatchMode.X)
 
+            stay_idx, move_idx = self._checked_pick_split(page)
+            moved = [page.entries[i].copy() for i in move_idx]
+            stay_preds = [self._entry_pred(page.entries[i]) for i in stay_idx]
+            moved_preds = [self._entry_pred(e) for e in moved]
+            split_rec = SplitRecord(
+                xid=txn.xid,
+                orig_pid=page.pid,
+                new_pid=new_pid,
+                moved_entries=moved,
+                level=page.level,
+                kind=page.kind,
+                old_nsn=page.nsn,
+                new_nsn=0,
+                old_rightlink=page.rightlink,
+                old_bp=page.bp,
+                orig_new_bp=self.ext.union(stay_preds),
+                new_page_bp=self.ext.union(moved_preds),
+                capacity=page.capacity,
+            )
+            lsn = log.append(split_rec)
+            # Section 3: increment the global counter, stamp the new value
+            # on the ORIGINAL node; the sibling inherits the old NSN and
+            # rightlink.  (With the LSN source the split record's own LSN is
+            # the new value.)
+            split_rec.new_nsn = self.nsn.next_for_split(lsn)
+            split_rec.redo_page(page)
+            frame.mark_dirty(lsn)
+            split_rec.redo_page(new_page)
+            new_frame.mark_dirty(lsn)
+            self.stats.bump("splits")
+            self.metrics.tracer.event(
+                "gist.split",
+                tree=self.name,
+                pid=page.pid,
+                new_pid=new_pid,
+                nsn=split_rec.new_nsn,
+            )
+
+            # Replicate predicate attachments consistent with the new BP
+            # (section 4.3) and the signaling locks (section 10.3).
+            self.predicates.replicate_for_split(
+                page.pid, new_pid, new_page.bp
+            )
+            self.db.locks.replicate_shared(
+                self.node_lock(page.pid), self.node_lock(new_pid)
+            )
+            self.db.hooks.fire(
+                "insert:after-split", pid=page.pid, new_pid=new_pid
+            )
+
+            # Install the new downlink in the parent, splitting it first if
+            # necessary (recursion stays inside the same atomic action).
+            if parent.page.is_full:
+                parent = self._split_node(
+                    txn,
+                    parent,
+                    stack[:-1],
+                    locate_child=page.pid,
+                )
+            add_rec = InternalEntryAddRecord(
+                xid=txn.xid,
+                page_id=parent.page.pid,
+                pred=new_page.bp,
+                child=new_pid,
+            )
+            lsn = log.append(add_rec)
+            add_rec.redo_page(parent.page)
+            parent.mark_dirty(lsn)
+            old_parent_pred = parent.page.find_child_entry(page.pid).pred
+            upd_rec = InternalEntryUpdateRecord(
+                xid=txn.xid,
+                page_id=parent.page.pid,
+                child=page.pid,
+                new_bp=page.bp,
+                old_bp=old_parent_pred,
+            )
+            lsn = log.append(upd_rec)
+            upd_rec.redo_page(parent.page)
+            parent.mark_dirty(lsn)
+            pool.unfix(parent)
+
+        except BaseException:
+            # An aborting split (extension error, injected fault, log
+            # failure) must not strand the sibling or parent latches:
+            # release whatever this level still holds.  The caller's
+            # own frame remains the caller's responsibility.
+            if new_frame is not None and new_frame.latch.held_by_me():
+                new_frame.latch.release()
+            if new_pinned:
+                pool.unpin(new_pid)
+            if parent.latch.held_by_me():
+                pool.unfix(parent)
+            raise
         return self._pick_split_side(
             txn, frame, new_frame, key_hint=key_hint, locate_child=locate_child
         )
@@ -1019,48 +1038,67 @@ class GiST:
         lsn = log.append(rec)
         rec.new_nsn = self.nsn.next_for_split(lsn)
 
-        left_frame = pool.adopt(
-            Page(pid=left_pid, kind=page.kind, capacity=page.capacity)
-        )
-        pool.pin(left_pid)
-        left_frame.latch.acquire(LatchMode.X)
-        right_frame = pool.adopt(
-            Page(pid=right_pid, kind=page.kind, capacity=page.capacity)
-        )
-        pool.pin(right_pid)
-        right_frame.latch.acquire(LatchMode.X)
+        left_frame: Frame | None = None
+        right_frame: Frame | None = None
+        pinned_pids: list[PageId] = []
+        try:
+            left_frame = pool.adopt(
+                Page(pid=left_pid, kind=page.kind, capacity=page.capacity)
+            )
+            pool.pin(left_pid)
+            pinned_pids.append(left_pid)
+            left_frame.latch.acquire(LatchMode.X)
+            right_frame = pool.adopt(
+                Page(pid=right_pid, kind=page.kind, capacity=page.capacity)
+            )
+            pool.pin(right_pid)
+            pinned_pids.append(right_pid)
+            right_frame.latch.acquire(LatchMode.X)
 
-        for target_frame in (frame, left_frame, right_frame):
-            rec.redo_page(target_frame.page)
-            target_frame.mark_dirty(lsn)
-        self.stats.bump("root_splits")
-        self.stats.bump("splits")
-        self.metrics.tracer.event(
-            "gist.root_split",
-            tree=self.name,
-            pid=page.pid,
-            left_pid=left_pid,
-            right_pid=right_pid,
-            nsn=rec.new_nsn,
-        )
+            for target_frame in (frame, left_frame, right_frame):
+                rec.redo_page(target_frame.page)
+                target_frame.mark_dirty(lsn)
+            self.stats.bump("root_splits")
+            self.stats.bump("splits")
+            self.metrics.tracer.event(
+                "gist.root_split",
+                tree=self.name,
+                pid=page.pid,
+                left_pid=left_pid,
+                right_pid=right_pid,
+                nsn=rec.new_nsn,
+            )
 
-        # Predicates attached to the root replicate to whichever child
-        # BP they are consistent with (the attachment invariant).
-        self.predicates.replicate_for_split(
-            page.pid, left_pid, left_frame.page.bp
-        )
-        self.predicates.replicate_for_split(
-            page.pid, right_pid, right_frame.page.bp
-        )
-        pool.unfix(frame)
-        self.db.hooks.fire(
-            "insert:after-split", pid=page.pid, new_pid=right_pid
-        )
-        # Descents that will land on the new children take signaling
-        # locks when they push the fresh downlinks; the caller of this
-        # split still holds its lock on the (stable) root id.  For the
-        # caller's continued descent we hand over an explicitly taken
-        # lock on whichever side it keeps.
+            # Predicates attached to the root replicate to whichever child
+            # BP they are consistent with (the attachment invariant).
+            self.predicates.replicate_for_split(
+                page.pid, left_pid, left_frame.page.bp
+            )
+            self.predicates.replicate_for_split(
+                page.pid, right_pid, right_frame.page.bp
+            )
+            pool.unfix(frame)
+            self.db.hooks.fire(
+                "insert:after-split", pid=page.pid, new_pid=right_pid
+            )
+            # Descents that will land on the new children take signaling
+            # locks when they push the fresh downlinks; the caller of this
+            # split still holds its lock on the (stable) root id.  For the
+            # caller's continued descent we hand over an explicitly taken
+            # lock on whichever side it keeps.
+        except BaseException:
+            # Same unwind contract as _split_node: the half-built
+            # children must not leak latches or pins when the split
+            # aborts mid-flight; the root frame stays with the caller.
+            for cleanup_frame in (left_frame, right_frame):
+                if (
+                    cleanup_frame is not None
+                    and cleanup_frame.latch.held_by_me()
+                ):
+                    cleanup_frame.latch.release()
+            for cleanup_pid in pinned_pids:
+                pool.unpin(cleanup_pid)
+            raise
         chosen = self._pick_split_side(
             txn,
             left_frame,
@@ -1068,9 +1106,19 @@ class GiST:
             key_hint=key_hint,
             locate_child=locate_child,
         )
-        name = self.node_lock(chosen.page.pid)
-        self.db.locks.acquire(txn.xid, name, LockMode.S)
-        txn.note_signaling(name)
+        try:
+            name = self.node_lock(chosen.page.pid)
+            # Signaling S-lock under the chosen child's latch: a
+            # freshly allocated page cannot have a queued X waiter
+            # (drain deleters only probe no-wait), so this never
+            # blocks and cannot violate the latch-vs-lock-wait rule.
+            self.db.locks.acquire(
+                txn.xid, name, LockMode.S
+            )  # lint: allow(lock-wait-under-latch): never waits
+            txn.note_signaling(name)
+        except BaseException:
+            pool.unfix(chosen)
+            raise
         return chosen
 
     def _pick_split_side(
@@ -1150,7 +1198,7 @@ class GiST:
     # ------------------------------------------------------------------
     # parent location (back-up phases)
     # ------------------------------------------------------------------
-    def _fix_parent(
+    def _fix_parent(  # lint: allow(latch-release): rightlink walk returns the X-latched parent to the caller
         self, txn: Transaction, child_pid: PageId, stack: list[StackEntry]
     ) -> Frame:
         """X-latch the node currently holding ``child_pid``'s downlink.
@@ -1180,7 +1228,7 @@ class GiST:
             )
         return frame
 
-    def _redescend_to_parent(self, child_pid: PageId) -> Frame | None:
+    def _redescend_to_parent(self, child_pid: PageId) -> Frame | None:  # lint: allow(latch-release): BFS probe latches one node at a time; the match transfers out latched
         """Breadth-first hunt for the downlink of ``child_pid``.
 
         Last-resort path used after a root split changed the shape above
@@ -1308,12 +1356,16 @@ class GiST:
         last_handled = entry.memo
         # Peek at the node level with an S latch; leaves need X.
         frame = pool.fix(pid, LatchMode.S)
-        is_leaf = frame.page.is_leaf
-        if is_leaf:
-            pool.unfix(frame)
-            frame = pool.fix(pid, LatchMode.X)
-        page = frame.page
         try:
+            if frame.page.is_leaf:
+                # Trade the S latch for X; the unlatched window is
+                # compensated by the NSN check below.  Clearing the
+                # binding first keeps the finally correct if the
+                # re-fix itself fails (e.g. an injected read fault).
+                pool.unfix(frame)
+                frame = None
+                frame = pool.fix(pid, LatchMode.X)
+            page = frame.page
             if page.nsn > last_handled and page.rightlink != NO_PAGE:
                 self.stats.bump("rightlink_follows")
                 self.stats.bump("nsn_restarts")
@@ -1353,7 +1405,8 @@ class GiST:
                     )
             return False
         finally:
-            pool.unfix(frame)
+            if frame is not None:
+                pool.unfix(frame)
 
     # ------------------------------------------------------------------
     # unique-index insertion (section 8)
@@ -1510,7 +1563,7 @@ class GiST:
         finally:
             self.db.pool.unfix(frame)
 
-    def _locate_for_undo(
+    def _locate_for_undo(  # lint: allow(latch-release): rightlink walk returns the X-latched leaf for logical undo
         self, start_pid: PageId, key: object, rid: object
     ) -> Frame:
         """Find the leaf currently holding ``(key, rid)``, starting from
@@ -1539,7 +1592,7 @@ class GiST:
             f"from page {start_pid} in tree {self.name!r}"
         )
 
-    def _descend_for_entry(self, key: object, rid: object) -> Frame | None:
+    def _descend_for_entry(self, key: object, rid: object) -> Frame | None:  # lint: allow(latch-release): whole-tree hunt; the matching leaf transfers out latched
         """Search the whole tree for a specific (key, rid) leaf entry,
         returning its X-latched leaf (logical-undo fallback path)."""
         pool = self.db.pool

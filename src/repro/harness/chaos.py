@@ -66,6 +66,9 @@ class ChaosTrialResult(CrashTrialResult):
     lost_commits: int = 0
     #: workload steps that surfaced a typed storage fault (rolled back)
     typed_failures: int = 0
+    #: hard lockdep violations (``protocol_checks=True`` runs only);
+    #: tracked separately because ``ok`` ignores the ``errors`` list
+    protocol_violations: int = 0
 
 
 def chaos_rows(results: list[ChaosTrialResult]) -> list[dict]:
@@ -87,6 +90,7 @@ def chaos_rows(results: list[ChaosTrialResult]) -> list[dict]:
                 "tail_drop": r.tail_records_dropped,
                 "lost_commits": r.lost_commits,
                 "typed_fail": r.typed_failures,
+                "protocol": r.protocol_violations,
                 "errors": len(r.errors),
                 "first_error": first_error,
             }
@@ -106,6 +110,7 @@ class ChaosHarness(CrashRecoveryHarness):
         io_retries: int = 4,
         kinds: frozenset[FaultKind] | set[FaultKind] | None = None,
         extension=None,
+        protocol_checks: bool = False,
     ) -> None:
         super().__init__(
             page_capacity=page_capacity,
@@ -117,6 +122,9 @@ class ChaosHarness(CrashRecoveryHarness):
         self.pool_capacity = pool_capacity
         self.io_retries = io_retries
         self.kinds = set(kinds) if kinds is not None else set(FaultKind)
+        #: attach a lockdep witness to every trial database; any hard
+        #: violation (latch-across-lock-wait, WAL rule) fails the trial
+        self.protocol_checks = protocol_checks
 
     def run_trial(
         self,
@@ -139,6 +147,8 @@ class ChaosHarness(CrashRecoveryHarness):
             fault_plan=plan,
             io_retries=self.io_retries,
             io_retry_backoff=0.0,  # deterministic: no wall-clock sleeps
+            # False defers to REPRO_PROTOCOL_CHECKS; True forces it on
+            protocol_checks=self.protocol_checks or None,
         )
         tree = db.create_tree("chaos", self.extension)
         #: committed effects in commit order: (commit_lsn, inserts, deletes)
@@ -242,6 +252,7 @@ class ChaosHarness(CrashRecoveryHarness):
         result.write_faults = metrics.counter("storage.write_faults").value
 
         db.crash()  # WAL tail faults (if scheduled) fire here
+        self._collect_protocol(db, "runtime", result)
         try:
             db2 = db.restart({"chaos": self.extension})
         except Exception as exc:  # pragma: no cover - trial diagnostics
@@ -290,7 +301,24 @@ class ChaosHarness(CrashRecoveryHarness):
             result.errors.append(
                 f"content mismatch: missing={missing} extra={extra}"
             )
+        self._collect_protocol(db2, "recovery", result)
         return result
+
+    @staticmethod
+    def _collect_protocol(
+        db: Database, phase: str, result: ChaosTrialResult
+    ) -> None:
+        """Fold the phase's hard lockdep violations into the result.
+
+        ``CrashTrialResult.ok`` only looks at the oracle fields, so the
+        violations are counted separately and :func:`main` fails the
+        run on them explicitly.
+        """
+        if db.witness is None:
+            return
+        for violation in db.witness.drain_new():
+            result.protocol_violations += 1
+            result.errors.append(f"protocol[{phase}]: {violation}")
 
     @staticmethod
     def _commit_lsn(db: Database, xid: int, mark: int) -> int:
@@ -316,9 +344,15 @@ def main(argv: list[str] | None = None) -> int:
         default=5,
         help="every nth trial also crashes inside a node split",
     )
+    parser.add_argument(
+        "--protocol-checks",
+        action="store_true",
+        help="attach the lockdep witness to every trial; any hard "
+        "latch/lock/WAL-rule violation fails the run",
+    )
     args = parser.parse_args(argv)
 
-    harness = ChaosHarness()
+    harness = ChaosHarness(protocol_checks=args.protocol_checks)
     results: list[ChaosTrialResult] = []
     for i in range(args.trials):
         seed = args.base_seed + i
@@ -326,14 +360,22 @@ def main(argv: list[str] | None = None) -> int:
         results.append(harness.run_trial(seed, crash_mid_smo=mid_smo))
 
     print(render_table(chaos_rows(results), title="chaos trials"))
-    failed = [r for r in results if not r.ok]
+    # protocol violations fail the run even though the recovery oracle
+    # (CrashTrialResult.ok) does not look at them
+    failed = [r for r in results if not r.ok or r.protocol_violations]
     total_faults = sum(r.faults_injected for r in results)
+    total_protocol = sum(r.protocol_violations for r in results)
     print(
         f"\n{len(results) - len(failed)}/{len(results)} trials ok, "
         f"{total_faults} faults injected, "
         f"{sum(r.lost_commits for r in results)} commits lost to WAL "
         f"tail faults (correctly rolled back)"
     )
+    if args.protocol_checks:
+        print(
+            f"protocol checks: {total_protocol} hard violations across "
+            f"{len(results)} trials"
+        )
     for r in failed:
         print(f"\nseed {r.seed} FAILED:")
         for line in r.fault_log:

@@ -262,7 +262,7 @@ class TransactionalDriver:
         try:
             self.db.rollback(txn)
         except Exception:
-            pass
+            pass  # lint: allow(swallowed-fault): best-effort rollback; the op already failed
 
 
 class BaselineDriver:

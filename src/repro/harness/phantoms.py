@@ -111,12 +111,12 @@ def run_phantom_campaign(
                 try:
                     db.rollback(txn)
                 except Exception:
-                    pass
+                    pass  # lint: allow(swallowed-fault): best-effort rollback
             except Exception:
                 try:
                     db.rollback(txn)
                 except Exception:
-                    pass
+                    pass  # lint: allow(swallowed-fault): best-effort rollback
 
     threads = [
         threading.Thread(target=writer, args=(w,), daemon=True) for w in range(writers)
@@ -139,7 +139,7 @@ def run_phantom_campaign(
                 try:
                     db.rollback(txn)
                 except Exception:
-                    pass
+                    pass  # lint: allow(swallowed-fault): best-effort rollback
                 continue
             report.probes += 1
             if first != second:

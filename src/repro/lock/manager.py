@@ -123,6 +123,9 @@ class LockManager:
     ) -> None:
         self.default_timeout = default_timeout
         self.stats = LockStats(metrics)
+        #: lockdep witness (Database(protocol_checks=True)); flags any
+        #: blocking lock wait entered while the thread holds a latch
+        self.witness = None
         self._mutex = threading.Lock()
         self._cond = threading.Condition(self._mutex)
         self._heads: dict[LockName, _LockHead] = {}
@@ -195,6 +198,10 @@ class LockManager:
         self, head: _LockHead, request: _Request, timeout: float | None
     ) -> bool:
         """Block (mutex held) until the queued request is granted."""
+        if self.witness is not None:
+            # An actual (not merely potential) wait is starting: the
+            # paper forbids holding any latch across this point.
+            self.witness.note_lock_wait(head.name)
         self.stats.note_wait()
         self._waiting[request.owner] = (request, head)
         wait_start = perf_counter_ns()

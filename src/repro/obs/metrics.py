@@ -129,7 +129,7 @@ class Gauge:
         try:
             return self._fn()
         except Exception:
-            return None
+            return None  # lint: allow(swallowed-fault): gauges never raise by contract
 
 
 class _HistShard:

@@ -43,14 +43,21 @@ class Frame:
 
     __slots__ = ("page", "pin_count", "dirty", "rec_lsn", "latch", "ref")
 
-    def __init__(self, page: Page, latch_timer: object = None) -> None:
+    def __init__(
+        self,
+        page: Page,
+        latch_timer: object = None,
+        witness: object = None,
+    ) -> None:
         self.page = page
         self.pin_count = 0
         self.dirty = False
         #: LSN of the record that first dirtied this page since its last
         #: flush — the recLSN that goes into the dirty page table.
         self.rec_lsn: int | None = None
-        self.latch = SXLatch(name=page.pid, timer=latch_timer)
+        self.latch = SXLatch(
+            name=page.pid, timer=latch_timer, witness=witness
+        )
         #: second-chance reference bit, owned by the frame's shard.
         self.ref = False
 
@@ -76,6 +83,7 @@ class _Shard:
     """
 
     __slots__ = (
+        "index",
         "lock",
         "frames",
         "loading",
@@ -88,7 +96,9 @@ class _Shard:
         "lock_acquisitions",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, index: int = 0) -> None:
+        #: stable shard number, used as the lockdep resource key
+        self.index = index
         self.lock = threading.Lock()
         self.frames: dict[PageId, Frame] = {}
         self.loading: dict[PageId, threading.Event] = {}
@@ -219,7 +229,7 @@ class BufferPool:
         #: callable rebuilding a page image from the WAL (wired by the
         #: database assembly); enables torn-page self-healing on fix
         self.page_rebuilder: Callable[[PageId], Page | None] | None = None
-        self._shards = [_Shard() for _ in range(shards)]
+        self._shards = [_Shard(i) for i in range(shards)]
         self._n_shards = shards
         # Global capacity budget.  ``_cap_lock`` is never held together
         # with a shard lock, and the resident-hit pin path never touches
@@ -248,6 +258,11 @@ class BufferPool:
         # path pays one predictable branch and nothing else.
         self._track_fixes = store.fault_plan is not None
         self._fix_local = threading.local()
+        # Lockdep witness (Database(protocol_checks=True)).  ``None`` —
+        # the default — keeps pin/unpin and the shard mutexes entirely
+        # free of witness calls, same gating idea as ``_track_fixes``;
+        # bench_hotpath counter-asserts the off state.
+        self._witness = None
         self._latch_timer = (
             LatchTimer(self.metrics) if self.metrics.enabled else None
         )
@@ -284,6 +299,19 @@ class BufferPool:
                 lambda s=shard: s.lock_acquisitions,
             )
 
+    def attach_witness(self, witness) -> None:
+        """Install (or clear, with ``None``) a lockdep witness.
+
+        Future frames inherit it through their latches; already-resident
+        frames are swept so restarts with ``protocol_checks`` toggled
+        behave uniformly.
+        """
+        self._witness = witness
+        for shard in self._shards:
+            with self._locked(shard):
+                for frame in shard.frames.values():
+                    frame.latch.witness = witness
+
     # ------------------------------------------------------------------
     # sharding helpers
     # ------------------------------------------------------------------
@@ -299,7 +327,15 @@ class BufferPool:
         """Acquire a shard's mutex, counting the acquisition."""
         with shard.lock:
             shard.lock_acquisitions += 1
-            yield
+            witness = self._witness
+            if witness is None:
+                yield
+            else:
+                witness.note_acquired("shard", shard.index)
+                try:
+                    yield
+                finally:
+                    witness.note_released("shard", shard.index)
 
     def shard_metrics(self) -> list[dict[str, int]]:
         """Per-shard counter snapshot (tests and the hotpath bench)."""
@@ -422,6 +458,8 @@ class BufferPool:
         frame = self._pin(pid)
         if self._track_fixes:
             self._ledger().append(frame)
+        if self._witness is not None:
+            self._witness.note_pinned(pid)
         return frame
 
     def _ledger(self) -> list:
@@ -463,9 +501,13 @@ class BufferPool:
                         and frame.pin_count > 0
                     ):
                         frame.pin_count -= 1
+                        if self._witness is not None:
+                            self._witness.note_unpinned(pid)
                 released += 1
             except Exception:  # pragma: no cover - best-effort cleanup
-                continue
+                # the fault-unwind sweep must keep releasing the
+                # remaining fixes even if one release fails
+                continue  # lint: allow(swallowed-fault): best-effort sweep
         # Frames installed via adopt() are latched directly without a
         # tracked pin (split construction); sweep any latch left held.
         for shard in self._shards:
@@ -477,7 +519,7 @@ class BufferPool:
                         frame.latch.release()
                         released += 1
                 except Exception:  # pragma: no cover - best-effort
-                    break
+                    break  # lint: allow(swallowed-fault): best-effort sweep
         return released
 
     def _pin(self, pid: PageId) -> Frame:
@@ -505,7 +547,7 @@ class BufferPool:
             # We own the load for this pid.
             try:
                 page = self._read_page(pid)
-                frame = Frame(page, self._latch_timer)
+                frame = Frame(page, self._latch_timer, self._witness)
                 frame.pin_count = 1
                 self._reserve_slot(self.shard_of(pid))
                 with self._locked(shard):
@@ -564,6 +606,8 @@ class BufferPool:
             if frame is None or frame.pin_count <= 0:
                 raise BufferPoolError(f"unpin of page {pid} that is not pinned")
             frame.pin_count -= 1
+        if self._witness is not None:
+            self._witness.note_unpinned(pid)
         if self._track_fixes:
             ledger = getattr(self._fix_local, "frames", None)
             if ledger is not None:
@@ -575,7 +619,7 @@ class BufferPool:
     def new_frame(self, kind: PageKind, level: int = 0) -> Frame:
         """Allocate a brand-new page and return its frame, pinned once."""
         page = self.store.new_page(kind, level)
-        frame = Frame(page, self._latch_timer)
+        frame = Frame(page, self._latch_timer, self._witness)
         frame.pin_count = 1
         shard = self._shard(page.pid)
         self._reserve_slot(self.shard_of(page.pid))
@@ -583,11 +627,13 @@ class BufferPool:
             shard.insert(frame)
         if self._track_fixes:
             self._ledger().append(frame)
+        if self._witness is not None:
+            self._witness.note_pinned(page.pid)
         return frame
 
     def adopt(self, page: Page) -> Frame:
         """Install an externally built page image (recovery redo path)."""
-        frame = Frame(page, self._latch_timer)
+        frame = Frame(page, self._latch_timer, self._witness)
         shard = self._shard(page.pid)
         with self._locked(shard):
             if page.pid in shard.frames:
@@ -606,7 +652,13 @@ class BufferPool:
     def fix(self, pid: PageId, mode: LatchMode) -> Frame:
         """Pin *and latch* the page.  Pair with :meth:`unfix`."""
         frame = self.pin(pid)
-        frame.latch.acquire(mode)
+        try:
+            frame.latch.acquire(mode)
+        except BaseException:
+            # e.g. a re-entrant acquire (LatchError): the pin taken
+            # above must not leak when the latch is never granted
+            self.unpin(pid)
+            raise
         return frame
 
     def unfix(self, frame: Frame) -> None:

@@ -161,6 +161,10 @@ class PageStore:
         self.fault_plan = fault_plan
         self.checksums = checksums
         self.stats = IOStats()
+        #: lockdep witness (Database(protocol_checks=True)); the store
+        #: outlives restarts, so each Database assembly rebinds or
+        #: clears it
+        self.witness = None
         self._lock = threading.Lock()
         self._pages: dict[PageId, Page] = {}
         self._sums: dict[PageId, int] = {}
@@ -259,6 +263,9 @@ class PageStore:
                 raise TransientIOError(
                     f"injected transient read error on page {pid}"
                 )
+        witness = self.witness
+        if witness is not None:
+            witness.note_io("read", pid)
         self._io_stall()
         self.stats.record_read()
         with self._lock:
@@ -294,6 +301,11 @@ class PageStore:
             raise DiskWriteError(
                 f"injected permanent write error on page {page.pid}"
             )
+        witness = self.witness
+        if witness is not None:
+            # the WAL-rule check (page_lsn vs flushed LSN) runs before
+            # the image can possibly reach the simulated platter
+            witness.note_io("write", page.pid, page_lsn=page.page_lsn)
         self._io_stall()
         self.stats.record_write()
         snapshot = page.snapshot()

@@ -59,6 +59,7 @@ class SXLatch:
 
     __slots__ = (
         "name",
+        "witness",
         "_cond",
         "_readers",
         "_writer",
@@ -68,8 +69,16 @@ class SXLatch:
         "_acquired_at",
     )
 
-    def __init__(self, name: object = None, timer: object = None) -> None:
+    def __init__(
+        self,
+        name: object = None,
+        timer: object = None,
+        witness: object = None,
+    ) -> None:
         self.name = name
+        #: optional lock-order witness (repro.analysis.lockdep); ``None``
+        #: — the default — keeps the hot path free of any extra calls
+        self.witness = witness
         self._cond = threading.Condition()
         self._readers: set[int] = set()
         self._writer: int | None = None
@@ -79,6 +88,9 @@ class SXLatch:
         self._timer = timer
         #: per-holder grant timestamps (ns), only kept when timing
         self._acquired_at: dict[int, int] = {}
+
+    def _witness_key(self) -> object:
+        return self.name if self.name is not None else f"latch@{id(self):x}"
 
     # ------------------------------------------------------------------
     # acquisition / release
@@ -115,14 +127,36 @@ class SXLatch:
                 try:
                     while not self._can_grant_x():
                         self._cond.wait()
-                finally:
+                except BaseException:
+                    # Interrupted waiter: drop out of the queue AND wake
+                    # the other waiters — S grants are gated on
+                    # ``_waiting_writers == 0`` (writer preference) and
+                    # would otherwise sleep forever on a stale count.
                     self._waiting_writers -= 1
+                    self._cond.notify_all()
+                    raise
+                self._waiting_writers -= 1
                 self._writer = me
             self._acquisitions += 1
             if sampled:
                 granted = perf_counter_ns()
-                timer.wait_ns.record(granted - start)
-                self._acquired_at[me] = granted
+                try:
+                    timer.wait_ns.record(granted - start)
+                    self._acquired_at[me] = granted
+                except BaseException:
+                    # A faulty timer sink must not leave the latch
+                    # granted while the caller unwinds believing the
+                    # acquire failed: roll the grant back fully.
+                    if mode is LatchMode.S:
+                        self._readers.discard(me)
+                    else:
+                        self._writer = None
+                    self._acquisitions -= 1
+                    self._acquired_at.pop(me, None)
+                    self._cond.notify_all()
+                    raise
+            if self.witness is not None:
+                self.witness.note_acquired("latch", self._witness_key())
             return True
 
     def release(self) -> None:
@@ -137,13 +171,21 @@ class SXLatch:
                 raise LatchError(
                     f"thread {me} releasing latch {self.name!r} it does not hold"
                 )
-            if self._timer is not None:
-                granted_at = self._acquired_at.pop(me, None)
-                if granted_at is not None:
-                    self._timer.hold_ns.record(
-                        perf_counter_ns() - granted_at
+            try:
+                if self._timer is not None:
+                    granted_at = self._acquired_at.pop(me, None)
+                    if granted_at is not None:
+                        self._timer.hold_ns.record(
+                            perf_counter_ns() - granted_at
+                        )
+                if self.witness is not None:
+                    self.witness.note_released(
+                        "latch", self._witness_key()
                     )
-            self._cond.notify_all()
+            finally:
+                # the ownership release above already happened: waiters
+                # MUST be woken even if a metrics sink misbehaves
+                self._cond.notify_all()
 
     def upgrade(self) -> bool:
         """Try to upgrade an S latch to X without an intervening release.

@@ -1,0 +1,7 @@
+"""Deliberately broken snippets for the protocol-linter tests.
+
+Each module violates exactly one lint rule (the module name is the rule
+it triggers), except :mod:`abba_order`, which is lint-clean and exists
+to drive the *runtime* lockdep witness into a lock-order cycle from
+racing test threads.
+"""

@@ -1,0 +1,23 @@
+"""Lint-clean helper that acquires two latches in a caller-chosen order.
+
+``test_lockdep`` drives this from racing threads (all in S mode, which
+is self-compatible, so nothing ever blocks) to seed an acquisition-order
+cycle that the runtime witness must report as a potential deadlock.
+The optional ``between`` callback runs while the first latch is held —
+tests park a barrier there to guarantee every thread records its first
+acquisition before any records its second.
+"""
+
+
+def acquire_pair(first_latch, second_latch, mode, between=None):
+    first_latch.acquire(mode)
+    try:
+        if between is not None:
+            between()
+        second_latch.acquire(mode)
+        try:
+            pass
+        finally:
+            second_latch.release()
+    finally:
+        first_latch.release()

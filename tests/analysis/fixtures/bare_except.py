@@ -1,0 +1,8 @@
+"""Violates ``bare-except``: a bare ``except:`` clause."""
+
+
+def swallow_everything(op):
+    try:
+        return op()
+    except:  # noqa: E722
+        return None

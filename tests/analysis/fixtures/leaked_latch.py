@@ -1,0 +1,9 @@
+"""Violates ``latch-release``: an acquire with no structural release.
+
+If ``work()`` raises — or simply returns — the latch stays held.
+"""
+
+
+def leak(latch, mode, work):
+    latch.acquire(mode)
+    return work()

@@ -1,0 +1,9 @@
+"""Violates ``lock-wait-under-latch``: blocking lock wait under a latch."""
+
+
+def wait_while_latched(latch, mode, locks, owner, name, lock_mode):
+    latch.acquire(mode)
+    try:
+        return locks.acquire(owner, name, lock_mode)
+    finally:
+        latch.release()

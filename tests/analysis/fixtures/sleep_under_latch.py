@@ -1,0 +1,11 @@
+"""Violates ``io-under-latch``: an I/O-class call in a latched region."""
+
+import time
+
+
+def sleepy_critical_section(latch, mode):
+    latch.acquire(mode)
+    try:
+        time.sleep(0.001)
+    finally:
+        latch.release()

@@ -1,0 +1,8 @@
+"""Violates ``swallowed-fault``: a trivial handler eats storage faults."""
+
+
+def read_quietly(store, pid):
+    try:
+        return store.read(pid)
+    except Exception:
+        return None

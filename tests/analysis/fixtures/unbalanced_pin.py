@@ -1,0 +1,6 @@
+"""Violates ``pin-balance``: a ``pin()`` with no paired unpin/unfix."""
+
+
+def grab(pool, pid):
+    pool.pin(pid)
+    return pid

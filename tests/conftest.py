@@ -2,12 +2,38 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.analysis.lockdep import drain_new_violations
 from repro.database import Database
 from repro.ext.btree import BTreeExtension
 from repro.ext.rdtree import RDTreeExtension
 from repro.ext.rtree import RTreeExtension
+
+
+@pytest.fixture(autouse=True)
+def _protocol_enforcement():
+    """Fail any test that recorded a *hard* protocol violation.
+
+    Active only when ``REPRO_PROTOCOL_CHECKS`` is set (every Database
+    then attaches a lockdep witness; CI runs a battery this way).
+    Tests that deliberately seed violations drain their own witnesses
+    in a module-level autouse fixture, which tears down before this one.
+    """
+    yield
+    if os.environ.get("REPRO_PROTOCOL_CHECKS", "").lower() in (
+        "",
+        "0",
+        "false",
+        "off",
+    ):
+        return
+    fresh = drain_new_violations()
+    assert not fresh, "hard protocol violations recorded: " + "; ".join(
+        str(v) for v in fresh
+    )
 
 
 @pytest.fixture

@@ -1,0 +1,208 @@
+"""Regression tests for SXLatch error paths.
+
+A faulty metrics sink (timer) or an interrupted condition wait must
+never corrupt latch state: grants roll back fully, the writer-
+preference queue count stays exact, and waiters are always notified.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.sync.latch import LatchMode, SXLatch
+
+
+class _Hist:
+    def __init__(self) -> None:
+        self.fail_next = False
+        self.records: list[int] = []
+
+    def record(self, ns: int) -> None:
+        if self.fail_next:
+            self.fail_next = False
+            raise RuntimeError("metrics sink down")
+        self.records.append(ns)
+
+
+class _Timer:
+    """Always-sampling latch timer whose sinks can fail on demand."""
+
+    def __init__(self) -> None:
+        self.wait_ns = _Hist()
+        self.hold_ns = _Hist()
+
+    def sample(self) -> bool:
+        return True
+
+
+class _InterruptingCond:
+    """Wraps a real Condition; ``wait()`` raises for one victim thread.
+
+    The victim parks in short real waits (keeping its queue position
+    and releasing the underlying lock like any waiter) until ``fire``
+    is set, then raises KeyboardInterrupt out of the wait — the closest
+    emulation of an asynchronous interrupt landing in ``cond.wait()``.
+    """
+
+    def __init__(self, cond, victim, fire) -> None:
+        self._cond = cond
+        self._victim = victim
+        self._fire = fire
+
+    def __enter__(self):
+        return self._cond.__enter__()
+
+    def __exit__(self, *exc):
+        return self._cond.__exit__(*exc)
+
+    def wait(self, timeout=None):
+        if threading.get_ident() == self._victim[0]:
+            self._cond.wait(0.02)
+            if self._fire.is_set():
+                raise KeyboardInterrupt
+            return True
+        return self._cond.wait(timeout)
+
+    def notify_all(self) -> None:
+        self._cond.notify_all()
+
+
+def _wait_for(predicate, timeout=5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.005)
+    raise AssertionError("condition not reached in time")
+
+
+def test_faulty_wait_timer_rolls_back_x_grant():
+    timer = _Timer()
+    latch = SXLatch(name="fw", timer=timer)
+    timer.wait_ns.fail_next = True
+    with pytest.raises(RuntimeError):
+        latch.acquire(LatchMode.X)
+    assert latch.held_by_me() is None
+    assert latch.holders() == ()
+    assert latch.acquisitions == 0
+    # the latch is fully usable afterwards
+    assert latch.acquire(LatchMode.X)
+    latch.release()
+    assert timer.hold_ns.records, "hold time of the good acquire recorded"
+
+
+def test_faulty_wait_timer_rolls_back_s_grant():
+    timer = _Timer()
+    latch = SXLatch(name="fs", timer=timer)
+    timer.wait_ns.fail_next = True
+    with pytest.raises(RuntimeError):
+        latch.acquire(LatchMode.S)
+    assert latch.held_by_me() is None
+    # no phantom reader was leaked: an exclusive grant succeeds at once
+    assert latch.acquire(LatchMode.X, nowait=True)
+    latch.release()
+
+
+def test_faulty_hold_timer_still_releases_and_wakes_waiters():
+    timer = _Timer()
+    latch = SXLatch(name="fh", timer=timer)
+    latch.acquire(LatchMode.X)
+
+    got = threading.Event()
+
+    def waiter() -> None:
+        latch.acquire(LatchMode.X)
+        got.set()
+        latch.release()
+
+    t = threading.Thread(target=waiter)
+    t.start()
+    _wait_for(lambda: latch._waiting_writers == 1)
+    timer.hold_ns.fail_next = True
+    with pytest.raises(RuntimeError):
+        latch.release()
+    # ownership was dropped and the waiter notified despite the raise
+    assert latch.held_by_me() is None
+    assert got.wait(5.0)
+    t.join(5.0)
+    assert not t.is_alive()
+
+
+def test_interrupted_x_waiter_resets_queue_count():
+    latch = SXLatch(name="ix")
+    victim = [None]
+    fire = threading.Event()
+    fire.set()  # raise on the very first wait
+    latch._cond = _InterruptingCond(latch._cond, victim, fire)
+
+    holder_in = threading.Event()
+    holder_out = threading.Event()
+
+    def reader() -> None:
+        latch.acquire(LatchMode.S)
+        holder_in.set()
+        holder_out.wait(10.0)
+        latch.release()
+
+    t = threading.Thread(target=reader)
+    t.start()
+    assert holder_in.wait(5.0)
+    victim[0] = threading.get_ident()
+    with pytest.raises(KeyboardInterrupt):
+        latch.acquire(LatchMode.X)
+    victim[0] = None
+    # the aborted writer left the queue: S grants are possible again
+    assert latch._waiting_writers == 0
+    assert latch.acquire(LatchMode.S, nowait=True)
+    latch.release()
+    holder_out.set()
+    t.join(5.0)
+    assert not t.is_alive()
+
+
+def test_interrupted_x_waiter_wakes_queued_s_waiters():
+    latch = SXLatch(name="iw")
+    victim = [None]
+    fire = threading.Event()
+    latch._cond = _InterruptingCond(latch._cond, victim, fire)
+
+    latch.acquire(LatchMode.S)  # main thread blocks the writer
+
+    writer_failed = threading.Event()
+
+    def writer() -> None:
+        victim[0] = threading.get_ident()
+        try:
+            latch.acquire(LatchMode.X)
+        except KeyboardInterrupt:
+            writer_failed.set()
+
+    tw = threading.Thread(target=writer)
+    tw.start()
+    _wait_for(lambda: latch._waiting_writers == 1)
+
+    reader_got = threading.Event()
+
+    def reader() -> None:
+        latch.acquire(LatchMode.S)
+        reader_got.set()
+        latch.release()
+
+    tr = threading.Thread(target=reader)
+    tr.start()
+    time.sleep(0.05)
+    # writer preference: the queued writer blocks the second reader
+    assert not reader_got.is_set()
+
+    fire.set()  # interrupt the writer inside its wait
+    tw.join(5.0)
+    assert writer_failed.is_set()
+    # the dying writer decremented the queue count AND notified: the
+    # parked reader must come through without any further release
+    assert reader_got.wait(5.0)
+    tr.join(5.0)
+    latch.release()
+    assert latch.holders() == ()
