@@ -84,16 +84,32 @@ def run_once(metrics_enabled: bool) -> float:
     return metrics.ops_per_sec
 
 
-def count_calls(metrics_enabled: bool) -> int:
-    """Function calls executed by the identical single-thread op mix.
+def _probe(**db_kwargs):
+    """Profile the deterministic single-thread op mix.
 
-    Deterministic: same seed, same op sequence, one thread, no I/O
-    delay — the only difference between the two configurations is the
-    instrumentation itself.  (The transaction loop runs inline rather
-    than through the driver because cProfile observes only the calling
-    thread.)
+    Same seed, same op sequence, one thread, no I/O delay — the only
+    difference between two probes is the configuration under test.
+    Returns ``(total_function_calls, db)`` so callers can also gate on
+    the subsystem counters of the finished run.  (The transaction loop
+    runs inline rather than through the driver because cProfile
+    observes only the calling thread.)
     """
-    db, driver, workload = _build(metrics_enabled, io_delay=0.0)
+    db = Database(
+        page_capacity=8,
+        io_delay=0.0,
+        pool_capacity=POOL,
+        lock_timeout=30.0,
+        **db_kwargs,
+    )
+    tree = db.create_tree("obs", BTreeExtension())
+    workload = ScalarWorkload(
+        seed=17,
+        mix=MixSpec(insert=0.5, search=0.5),
+        key_space=50_000,
+        selectivity=0.002,
+    )
+    driver = TransactionalDriver(db, tree, ops_per_txn=4)
+    driver.preload(workload.preload(PRELOAD))
     ops = list(workload.ops(PROBE_OPS))
     profile = cProfile.Profile()
     profile.enable()
@@ -105,7 +121,14 @@ def count_calls(metrics_enabled: bool) -> int:
         db.commit(txn)
         i += driver.ops_per_txn
     profile.disable()
-    return sum(entry.callcount for entry in profile.getstats())
+    calls = sum(entry.callcount for entry in profile.getstats())
+    return calls, db
+
+
+def count_calls(metrics_enabled: bool) -> int:
+    """Function calls executed by the identical single-thread op mix."""
+    calls, _db = _probe(metrics_enabled=metrics_enabled)
+    return calls
 
 
 def test_obs_overhead_under_5_percent(benchmark, emit):
@@ -185,4 +208,112 @@ def test_obs_overhead_under_5_percent(benchmark, emit):
         "instrumented throughput collapsed: median enabled/disabled "
         f"ratio {median_ratio:.3f} "
         f"(ratios: {[round(r, 3) for r in ratios]})"
+    )
+
+
+#: fixed extra-calls budget for the always-on flight recorder (same
+#: style as the 1.22% gate PR 1 set for the metrics registry): two ring
+#: writes per transaction must stay within 1.22% extra function calls
+FLIGHT_CALL_BUDGET = 1.0122
+
+
+def test_flight_recorder_call_budget(benchmark, emit):
+    """The always-on black box stays within its fixed call budget.
+
+    Deterministic gate: the identical single-thread op mix is profiled
+    with the flight recorder disabled and enabled (its default); the
+    enabled run must execute < 1.22% more function calls.
+    """
+    state: dict[str, int] = {}
+
+    def run():
+        state["off"], db_off = _probe(flight_recorder=False)
+        state["on"], db_on = _probe()
+        # the arms must actually differ in the way we think they do
+        assert db_off.flightrec is None
+        assert db_on.flightrec is not None
+        state["writes"] = db_on.flightrec.writes()
+        assert state["writes"] > 0
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = state["on"] / state["off"]
+    emit(
+        "OBS — always-on flight recorder call budget "
+        f"(probe of {PROBE_OPS} single-thread ops)",
+        [
+            {
+                "measure": "function calls",
+                "flightrec_off": state["off"],
+                "flightrec_on": state["on"],
+                "ring_writes": state["writes"],
+                "overhead_pct": round((ratio - 1.0) * 100, 2),
+            }
+        ],
+        columns=[
+            "measure",
+            "flightrec_off",
+            "flightrec_on",
+            "ring_writes",
+            "overhead_pct",
+        ],
+    )
+    assert ratio < FLIGHT_CALL_BUDGET, (
+        "flight recorder exceeds its call budget: "
+        f"{state['on']} calls vs {state['off']} without "
+        f"({(ratio - 1) * 100:.2f}% extra, budget "
+        f"{(FLIGHT_CALL_BUDGET - 1) * 100:.2f}%)"
+    )
+
+
+def test_spans_fully_dormant_when_off(benchmark, emit):
+    """``op_tracing=False`` (the default) leaves spans at zero cost.
+
+    Counter-gated, fully deterministic: with tracing off there is no
+    tracker object at all, no ``op.*`` aggregate appears in the metrics
+    snapshot, and — compared against an identical traced run — the
+    knob causes zero extra ring writes in either the flight recorder or
+    the tracer (spans never touch the event rings; their accounting
+    lives on the thread-local span object).
+    """
+    state: dict[str, object] = {}
+
+    def run():
+        calls_off, db_off = _probe()
+        calls_on, db_on = _probe(op_tracing=True)
+        state["calls_off"] = calls_off
+        state["calls_on"] = calls_on
+        # dormant arm: no tracker, no aggregates
+        assert db_off.spans is None
+        assert "op" not in db_off.metrics.snapshot()
+        # traced arm really traced every transaction + tree op
+        assert db_on.spans is not None
+        state["started"] = db_on.spans.started
+        assert db_on.spans.started > 0
+        assert "op" in db_on.metrics.snapshot()
+        # the knob moved span accounting, not ring traffic: identical
+        # write counts on both always-on rings
+        assert db_off.flightrec.writes() == db_on.flightrec.writes()
+        state["flight_writes"] = db_off.flightrec.writes()
+        assert len(db_off.metrics.tracer) == len(db_on.metrics.tracer)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "OBS — span dormancy when op_tracing is off "
+        f"(probe of {PROBE_OPS} single-thread ops)",
+        [
+            {
+                "measure": "function calls",
+                "tracing_off": state["calls_off"],
+                "tracing_on": state["calls_on"],
+                "spans_started": state["started"],
+                "flight_writes_delta": 0,
+            }
+        ],
+        columns=[
+            "measure",
+            "tracing_off",
+            "tracing_on",
+            "spans_started",
+            "flight_writes_delta",
+        ],
     )

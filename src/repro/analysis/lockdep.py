@@ -102,11 +102,16 @@ class LockdepWitness:
     one dict lookup per acquisition.
     """
 
-    def __init__(self, flushed_lsn=None) -> None:
+    def __init__(self, flushed_lsn=None, flightrec=None) -> None:
         #: callable returning the WAL's flushed LSN, for the WAL-rule
         #: check on page writes; queried *before* taking the witness
         #: mutex so the log can use its own locking freely
         self.flushed_lsn = flushed_lsn
+        #: optional :class:`repro.obs.flightrec.FlightRecorder`; hard
+        #: violations are recorded as black-box events (the recorder is
+        #: itself a leaf — it takes only its own ring lock — so calling
+        #: it under the witness mutex cannot deadlock)
+        self.flightrec = flightrec
         self._mutex = threading.Lock()
         self._held: dict[int, list[tuple[str, object]]] = {}
         self._pins: dict[int, list[object]] = {}
@@ -274,6 +279,10 @@ class LockdepWitness:
         self._violations.append(
             ProtocolViolation(rule, detail, threading.get_ident(), held)
         )
+        if self.flightrec is not None:
+            self.flightrec.record(
+                "lockdep.violation", rule=rule, detail=detail
+            )
 
     def _warn(self, rule: str, detail: str, held=()) -> None:
         dedup = (rule, detail)

@@ -24,7 +24,9 @@ from repro.faults import FaultPlan
 from repro.gist.extension import GiSTExtension
 from repro.gist.tree import GiST
 from repro.lock.manager import LockManager
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracker
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import PageStore
 from repro.storage.page import Page, PageKind
@@ -92,6 +94,28 @@ class Database:
         ``None`` (the default) reads the ``REPRO_PROTOCOL_CHECKS``
         environment variable; ``False``/unset keeps every hot path free
         of witness calls (counter-asserted in ``bench_hotpath``).
+    op_tracing:
+        ``True`` attaches a :class:`repro.obs.spans.SpanTracker`: every
+        operation opens an :class:`~repro.obs.spans.OpSpan` and latches,
+        the lock manager, the buffer pool and the WAL attribute their
+        stalls to it (``op.<kind>.*`` in ``db.metrics.snapshot()``,
+        pretty-printed by ``python -m repro.tools.trace``).  Off by
+        default; when off, every subsystem holds ``None`` and the hot
+        paths are span-free (counter-asserted in ``bench_obs_overhead``).
+    trace_capacity:
+        Per-thread ring size of the structured tracer
+        (``db.metrics.tracer``); also retained across :meth:`restart`.
+    flight_recorder, flight_capacity:
+        The always-on black box (:class:`repro.obs.flightrec.
+        FlightRecorder`): a bounded per-thread ring of recent rare
+        events (txn begin/commit/abort, SMOs, deadlock victims, lockdep
+        hard violations, crash/restart), dumped as replayable JSONL by
+        failed chaos trials.  On by default — it records only rare
+        events, within the ``bench_obs_overhead`` extra-calls budget.
+    flightrec:
+        Adopt an existing recorder instead of building one.
+        :meth:`restart` passes the pre-crash instance through so the
+        black box spans the crash boundary.
     """
 
     def __init__(
@@ -112,8 +136,28 @@ class Database:
         io_retries: int = 4,
         io_retry_backoff: float = 0.001,
         protocol_checks: bool | None = None,
+        op_tracing: bool = False,
+        trace_capacity: int = 1024,
+        flight_recorder: bool = True,
+        flight_capacity: int = 512,
+        flightrec: FlightRecorder | None = None,
     ) -> None:
-        self.metrics = MetricsRegistry(enabled=metrics_enabled)
+        self.metrics = MetricsRegistry(
+            enabled=metrics_enabled, trace_capacity=trace_capacity
+        )
+        self.op_tracing = op_tracing
+        self.trace_capacity = trace_capacity
+        #: per-op latency attribution; ``None`` when off — subsystems
+        #: gate on the reference, paying one attribute-load + branch
+        self.spans = SpanTracker(self.metrics) if op_tracing else None
+        self.flight_recorder_enabled = flight_recorder
+        self.flight_capacity = flight_capacity
+        if flightrec is not None:
+            self.flightrec: FlightRecorder | None = flightrec
+        elif flight_recorder:
+            self.flightrec = FlightRecorder(capacity=flight_capacity)
+        else:
+            self.flightrec = None
         self.pool_shards = pool_shards
         #: opt-in leaf-hint descent cache, read by each GiST at creation
         self.leaf_hints = leaf_hints
@@ -139,6 +183,9 @@ class Database:
             # here, carrying totals across the restart.
             self.log = log
             self.log.bind_metrics(self.metrics)
+        # The log survives restarts: always (re)assign the tracker so a
+        # restart without op_tracing drops the stale one.
+        self.log.tracker = self.spans
         self.pool = BufferPool(
             self.store,
             capacity=pool_capacity,
@@ -150,9 +197,12 @@ class Database:
         )
         #: torn pages found at fix time are rebuilt by full WAL replay
         self.pool.page_rebuilder = self._rebuild_page
+        self.pool.attach_span_tracker(self.spans)
         self.locks = LockManager(
             default_timeout=lock_timeout, metrics=self.metrics
         )
+        self.locks.tracker = self.spans
+        self.locks.flightrec = self.flightrec
         self.txns = TransactionManager(self.log, self.locks, predicates=self)
         self.txns.undo_executor = self._undo_record
         if protocol_checks is None:
@@ -163,7 +213,8 @@ class Database:
             from repro.analysis.lockdep import LockdepWitness
 
             self.witness = LockdepWitness(
-                flushed_lsn=lambda: self.log.flushed_lsn
+                flushed_lsn=lambda: self.log.flushed_lsn,
+                flightrec=self.flightrec,
             )
         else:
             self.witness = None
@@ -247,15 +298,34 @@ class Database:
         self, isolation: IsolationLevel = IsolationLevel.REPEATABLE_READ
     ) -> Transaction:
         """Start a transaction at the given isolation level."""
-        return self.txns.begin(isolation)
+        txn = self.txns.begin(isolation)
+        if self.flightrec is not None:
+            self.flightrec.record("txn.begin", xid=txn.xid)
+        return txn
 
     def commit(self, txn: Transaction) -> None:
         """Commit ``txn``: force the log, release locks and predicates."""
-        self.txns.commit(txn)
+        spans = self.spans
+        span = spans.begin("commit") if spans is not None else None
+        try:
+            self.txns.commit(txn)
+        finally:
+            if spans is not None:
+                spans.finish(span)
+        if self.flightrec is not None:
+            self.flightrec.record("txn.commit", xid=txn.xid)
 
     def rollback(self, txn: Transaction) -> None:
         """Abort ``txn``: undo all of its effects, then release everything."""
-        self.txns.rollback(txn)
+        spans = self.spans
+        span = spans.begin("abort") if spans is not None else None
+        try:
+            self.txns.rollback(txn)
+        finally:
+            if spans is not None:
+                spans.finish(span)
+        if self.flightrec is not None:
+            self.flightrec.record("txn.abort", xid=txn.xid)
 
     # duck-typed predicate registry for the transaction manager
     def release_transaction(self, xid: int) -> None:
@@ -297,6 +367,10 @@ class Database:
         were written strictly before the dependent state (WAL rule), so
         a torn *last* write cannot have touched them.
         """
+        if self.flightrec is not None:
+            self.flightrec.record(
+                "db.crash", flushed_lsn=self.log.flushed_lsn
+            )
         self.log.crash()
         self.pool.crash()
         if self.fault_plan is not None:
@@ -338,8 +412,29 @@ class Database:
         config.setdefault("io_retries", self.io_retries)
         config.setdefault("io_retry_backoff", self.io_retry_backoff)
         config.setdefault("protocol_checks", self.protocol_checks)
+        config.setdefault("op_tracing", self.op_tracing)
+        config.setdefault("trace_capacity", self.trace_capacity)
+        config.setdefault("flight_recorder", self.flight_recorder_enabled)
+        config.setdefault("flight_capacity", self.flight_capacity)
+        # The black box is the external observer, not volatile state:
+        # the pre-crash instance carries over so a post-restart dump
+        # still shows the events that led up to the crash.
+        config.setdefault("flightrec", self.flightrec)
         new_db = Database(store=self.store, log=self.log, **config)
+        if new_db.flightrec is not None:
+            new_db.flightrec.record("db.restart")
         new_db.recovery_report = RestartRecovery(new_db, extensions).run()
+        if new_db.flightrec is not None:
+            report = new_db.recovery_report
+            new_db.flightrec.record(
+                "db.recovered",
+                analyzed=report.analyzed_records,
+                redone=report.redone_records,
+                undone=report.undone_records,
+                losers=sorted(report.losers),
+                tail_dropped=report.tail_records_dropped,
+                torn_healed=report.torn_pages_healed,
+            )
         return new_db
 
     def protocol_report(self):

@@ -429,6 +429,8 @@ class GiST:
         """All ``(key, rid)`` pairs satisfying ``query`` (Figure 3)."""
         from repro.gist.cursor import SearchCursor
 
+        spans = self.db.spans
+        span = spans.begin("search", self.name) if spans is not None else None
         timed = self.metrics.enabled
         t0 = perf_counter_ns() if timed else 0
         cursor = SearchCursor(self, txn, query)
@@ -443,6 +445,8 @@ class GiST:
                 self.metrics.tracer.record_span(
                     "gist.search", dur, tree=self.name
                 )
+            if spans is not None:
+                spans.finish(span)
 
     def open_cursor(self, txn: Transaction, query: object):
         """An incremental search cursor (restorable across savepoints)."""
@@ -454,22 +458,30 @@ class GiST:
         """Insert a ``(key, rid)`` pair (Figure 4; section 6 or 8)."""
         txn.require_active()
         key = self.ext.normalize_key(key)
+        spans = self.db.spans
+        span = spans.begin("insert", self.name) if spans is not None else None
         timed = self.metrics.enabled
         t0 = perf_counter_ns() if timed else 0
-        if self.unique:
-            with self._fault_cleanup():
-                self._insert_unique(txn, key, rid)
-        else:
-            # Phase 1: X-lock the data record before touching the tree.
-            self.db.locks.acquire(txn.xid, self.rid_lock(rid), LockMode.X)
-            plock = self.predicates.register(
-                txn.xid, self.ext.eq_query(key), PredicateKind.INSERT
-            )
-            try:
+        try:
+            if self.unique:
                 with self._fault_cleanup():
-                    self._insert_located(txn, key, rid, plock)
-            finally:
-                self.predicates.unregister(plock)
+                    self._insert_unique(txn, key, rid)
+            else:
+                # Phase 1: X-lock the data record before touching the tree.
+                self.db.locks.acquire(
+                    txn.xid, self.rid_lock(rid), LockMode.X
+                )
+                plock = self.predicates.register(
+                    txn.xid, self.ext.eq_query(key), PredicateKind.INSERT
+                )
+                try:
+                    with self._fault_cleanup():
+                        self._insert_located(txn, key, rid, plock)
+                finally:
+                    self.predicates.unregister(plock)
+        finally:
+            if spans is not None:
+                spans.finish(span)
         self.stats.bump("inserts")
         if timed:
             dur = perf_counter_ns() - t0
@@ -504,6 +516,8 @@ class GiST:
         """
         from repro.gist.cursor import SearchCursor
 
+        spans = self.db.spans
+        span = spans.begin("scan", self.name) if spans is not None else None
         cursor = SearchCursor(self, txn, query)
         try:
             with self._fault_cleanup():
@@ -513,6 +527,8 @@ class GiST:
                 return total
         finally:
             cursor.close()
+            if spans is not None:
+                spans.finish(span)
 
     def delete_where(self, txn: Transaction, query: object) -> int:
         """Logically delete every entry satisfying ``query``.
@@ -537,11 +553,17 @@ class GiST:
         """
         txn.require_active()
         key = self.ext.normalize_key(key)
+        spans = self.db.spans
+        span = spans.begin("delete", self.name) if spans is not None else None
         timed = self.metrics.enabled
         t0 = perf_counter_ns() if timed else 0
-        self.db.locks.acquire(txn.xid, self.rid_lock(rid), LockMode.X)
-        with self._fault_cleanup():
-            found = self._mark_deleted(txn, key, rid)
+        try:
+            self.db.locks.acquire(txn.xid, self.rid_lock(rid), LockMode.X)
+            with self._fault_cleanup():
+                found = self._mark_deleted(txn, key, rid)
+        finally:
+            if spans is not None:
+                spans.finish(span)
         if not found:
             raise KeyNotFoundError(
                 f"({key!r}, {rid!r}) not found in tree {self.name!r}"
@@ -761,6 +783,10 @@ class GiST:
                     memo=memo,
                     nsn=page.nsn,
                 )
+                if self.db.spans is not None:
+                    self.db.spans.note_event(
+                        "gist.restart.nsn_mismatch", pid=page.pid
+                    )
                 frame = self._choose_in_chain(txn, frame, memo, key)
                 page = frame.page
             if page.is_leaf:
@@ -935,6 +961,18 @@ class GiST:
                 new_pid=new_pid,
                 nsn=split_rec.new_nsn,
             )
+            if self.db.flightrec is not None:
+                self.db.flightrec.record(
+                    "gist.split",
+                    tree=self.name,
+                    pid=page.pid,
+                    new_pid=new_pid,
+                    nsn=split_rec.new_nsn,
+                )
+            if self.db.spans is not None:
+                self.db.spans.note_event(
+                    "gist.split", pid=page.pid, new_pid=new_pid
+                )
 
             # Replicate predicate attachments consistent with the new BP
             # (section 4.3) and the signaling locks (section 10.3).
@@ -1068,6 +1106,19 @@ class GiST:
                 right_pid=right_pid,
                 nsn=rec.new_nsn,
             )
+            if self.db.flightrec is not None:
+                self.db.flightrec.record(
+                    "gist.root_split",
+                    tree=self.name,
+                    pid=page.pid,
+                    left_pid=left_pid,
+                    right_pid=right_pid,
+                    nsn=rec.new_nsn,
+                )
+            if self.db.spans is not None:
+                self.db.spans.note_event(
+                    "gist.root_split", pid=page.pid
+                )
 
             # Predicates attached to the root replicate to whichever child
             # BP they are consistent with (the attachment invariant).

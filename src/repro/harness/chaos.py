@@ -69,6 +69,10 @@ class ChaosTrialResult(CrashTrialResult):
     #: hard lockdep violations (``protocol_checks=True`` runs only);
     #: tracked separately because ``ok`` ignores the ``errors`` list
     protocol_violations: int = 0
+    #: JSONL flight-recorder dump written because this trial failed
+    #: (``None`` for passing trials — the black box is only shipped
+    #: when there is something to diagnose)
+    blackbox_path: str | None = None
 
 
 def chaos_rows(results: list[ChaosTrialResult]) -> list[dict]:
@@ -111,6 +115,7 @@ class ChaosHarness(CrashRecoveryHarness):
         kinds: frozenset[FaultKind] | set[FaultKind] | None = None,
         extension=None,
         protocol_checks: bool = False,
+        blackbox_dir: str | None = None,
     ) -> None:
         super().__init__(
             page_capacity=page_capacity,
@@ -125,6 +130,9 @@ class ChaosHarness(CrashRecoveryHarness):
         #: attach a lockdep witness to every trial database; any hard
         #: violation (latch-across-lock-wait, WAL rule) fails the trial
         self.protocol_checks = protocol_checks
+        #: where failed trials dump their flight-recorder black box
+        #: (``None``: the platform temp dir)
+        self.blackbox_dir = blackbox_dir
 
     def run_trial(
         self,
@@ -259,6 +267,7 @@ class ChaosHarness(CrashRecoveryHarness):
             result.errors.append(f"restart failed: {exc!r}")
             result.fault_log = list(plan.injected)
             result.faults_injected = len(plan.injected)
+            self._dump_blackbox(db, seed, result)
             return result
         result.recovered_ok = True
         report = db2.recovery_report
@@ -302,7 +311,37 @@ class ChaosHarness(CrashRecoveryHarness):
                 f"content mismatch: missing={missing} extra={extra}"
             )
         self._collect_protocol(db2, "recovery", result)
+        if not result.ok or result.protocol_violations:
+            # A failing seed ships its black box: the flight recorder
+            # survived the restart (same instance), so the dump holds
+            # the pre-crash events that led up to the failure.
+            self._dump_blackbox(db2, seed, result)
         return result
+
+    def _dump_blackbox(
+        self, db: Database, seed: int, result: ChaosTrialResult
+    ) -> None:
+        """Dump the flight recorder and embed the path + tail in errors."""
+        flightrec = db.flightrec
+        if flightrec is None:
+            return
+        import os
+        import tempfile
+
+        directory = self.blackbox_dir or tempfile.gettempdir()
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(
+            directory, f"chaos-blackbox-seed-{seed}.jsonl"
+        )
+        try:
+            result.blackbox_path = flightrec.dump(path)
+        except OSError as exc:  # pragma: no cover - disk-full etc.
+            result.errors.append(f"blackbox dump failed: {exc!r}")
+            return
+        tail = ", ".join(e.name for e in flightrec.last(8))
+        result.errors.append(
+            f"blackbox: {result.blackbox_path} (last events: {tail})"
+        )
 
     @staticmethod
     def _collect_protocol(
@@ -350,9 +389,18 @@ def main(argv: list[str] | None = None) -> int:
         help="attach the lockdep witness to every trial; any hard "
         "latch/lock/WAL-rule violation fails the run",
     )
+    parser.add_argument(
+        "--blackbox-dir",
+        default=None,
+        help="directory for failed trials' flight-recorder JSONL dumps "
+        "(default: the platform temp dir)",
+    )
     args = parser.parse_args(argv)
 
-    harness = ChaosHarness(protocol_checks=args.protocol_checks)
+    harness = ChaosHarness(
+        protocol_checks=args.protocol_checks,
+        blackbox_dir=args.blackbox_dir,
+    )
     results: list[ChaosTrialResult] = []
     for i in range(args.trials):
         seed = args.base_seed + i
@@ -378,6 +426,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     for r in failed:
         print(f"\nseed {r.seed} FAILED:")
+        if r.blackbox_path:
+            print(f"  blackbox: {r.blackbox_path}")
         for line in r.fault_log:
             print(f"  fault: {line}")
         for err in r.errors:

@@ -126,6 +126,12 @@ class LockManager:
         #: lockdep witness (Database(protocol_checks=True)); flags any
         #: blocking lock wait entered while the thread holds a latch
         self.witness = None
+        #: span tracker (Database(op_tracing=True)); lock waits are
+        #: attributed to the blocked thread's active operation span
+        self.tracker = None
+        #: flight recorder (black box); deadlock-victim selection is a
+        #: rare, semantically heavy event and is always recorded
+        self.flightrec = None
         self._mutex = threading.Lock()
         self._cond = threading.Condition(self._mutex)
         self._heads: dict[LockName, _LockHead] = {}
@@ -231,7 +237,10 @@ class LockManager:
         finally:
             # Every wait is measured — granted, victimized or timed out;
             # the histogram is the latency face of the waits counter.
-            self.stats.wait_ns.record(perf_counter_ns() - wait_start)
+            wait_ns = perf_counter_ns() - wait_start
+            self.stats.wait_ns.record(wait_ns)
+            if self.tracker is not None:
+                self.tracker.add_lock_wait(wait_ns)
             self._waiting.pop(request.owner, None)
 
     # ------------------------------------------------------------------
@@ -436,6 +445,14 @@ class LockManager:
             entry = self._waiting.get(victim)
             if entry is not None:
                 entry[0].victim = True
+                if self.flightrec is not None:
+                    # leaf-safe: the recorder takes only its ring lock
+                    self.flightrec.record(
+                        "lock.deadlock_victim",
+                        victim=repr(victim),
+                        cycle=[repr(o) for o in cycle],
+                        lock=repr(entry[1].name),
+                    )
                 self._cond.notify_all()
 
     @staticmethod

@@ -1,4 +1,4 @@
-"""Unified observability layer: metrics registry + structured tracer.
+"""Unified observability layer: metrics, tracing, black box, oracle.
 
 Every subsystem (latches, locks, buffer pool, WAL, trees, recovery)
 reports into one :class:`MetricsRegistry` owned by the
@@ -6,8 +6,35 @@ reports into one :class:`MetricsRegistry` owned by the
 protocol events land in its :class:`Tracer` (``db.metrics.tracer``).
 The dotted metric names are a stable public contract documented in
 README.md ("Observability") and DESIGN.md §7.
+
+Observability v2 (DESIGN.md §11) adds three coupled subsystems:
+
+* :class:`SpanTracker` / :class:`OpSpan` — per-operation latency
+  attribution (latch wait vs lock wait vs I/O vs WAL vs CPU), enabled
+  with ``Database(op_tracing=True)``;
+* :class:`FlightRecorder` — an always-on bounded black box of recent
+  rare events, dumped as replayable JSONL on failed chaos trials,
+  lockdep hard violations and deadlock-victim selection;
+* :class:`HistoryRecorder` + :func:`check_linearizability` /
+  :func:`check_read_committed` — invocation/response histories checked
+  mechanically for per-element linearizability.
 """
 
+from repro.obs.export import (
+    NONDETERMINISTIC_FIELDS,
+    canonical_events,
+    dump_jsonl,
+    dumps_line,
+    load_jsonl,
+)
+from repro.obs.flightrec import FlightEvent, FlightRecorder
+from repro.obs.history import (
+    HistoryOp,
+    HistoryRecorder,
+    OracleReport,
+    check_linearizability,
+    check_read_committed,
+)
 from repro.obs.metrics import (
     DEFAULT_NS_BUCKETS,
     Counter,
@@ -16,15 +43,30 @@ from repro.obs.metrics import (
     LatchTimer,
     MetricsRegistry,
 )
+from repro.obs.spans import OpSpan, SpanTracker
 from repro.obs.tracer import TraceEvent, Tracer
 
 __all__ = [
     "Counter",
     "DEFAULT_NS_BUCKETS",
+    "FlightEvent",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "HistoryOp",
+    "HistoryRecorder",
     "LatchTimer",
     "MetricsRegistry",
+    "NONDETERMINISTIC_FIELDS",
+    "OpSpan",
+    "OracleReport",
+    "SpanTracker",
     "TraceEvent",
     "Tracer",
+    "canonical_events",
+    "check_linearizability",
+    "check_read_committed",
+    "dump_jsonl",
+    "dumps_line",
+    "load_jsonl",
 ]

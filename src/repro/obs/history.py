@@ -1,0 +1,312 @@
+"""History recorder + linearizability oracle for index operations.
+
+Every scenario or chaos run so far produced a throughput number and an
+end-state check; this module turns a run into a **pass/fail correctness
+verdict** over the *concurrent* history, in the spirit of ROADMAP item 5
+(Feldman et al., "Proving Highly-Concurrent Traversals Correct",
+arXiv:2010.00911): record one invocation/response interval per completed
+operation, then mechanically decide whether some legal sequential order
+explains every observed result.
+
+The decomposition that makes this tractable is exact, not heuristic.
+The index is a set of ``(key, rid)`` pairs and rids are unique across a
+workload (the generator guarantees it), so the set decomposes into
+independent boolean registers — one per element ``(key, rid)``, initial
+value ``False``:
+
+* ``insert(key, rid)``  — write ``True``
+* ``delete(key, rid)``  — write ``False`` (a delete that found nothing
+  is a *read* of ``False``: it observed absence)
+* ``search(q)``         — for every element whose key ``q`` covers, a
+  read of ``True`` (rid in the result) or ``False`` (rid absent)
+
+A set history is linearizable iff every per-element register history is
+linearizable (operations on distinct elements commute), and each tiny
+register history is decided exactly with a memoized Wing & Gong search:
+worst case ``O(k * 2^k)`` for the ``k`` operations touching one element
+— in practice near-linear, since ``k`` is small (one insert, at most
+one delete, the few reads whose query covers the key) and equal-value
+reads commute.  :func:`check_read_committed` is the weaker per-read
+interval check (no cross-read ordering), matching what READ COMMITTED
+actually promises.
+
+Timestamps are ``perf_counter_ns`` monotonic values taken on the
+recording host: ``inv_ns`` just before the operation (its transaction)
+is issued, ``resp_ns`` after its commit returns.  Operations of aborted
+transactions left no effect and must not be recorded.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.obs.export import dump_jsonl
+
+__all__ = [
+    "HistoryOp",
+    "HistoryRecorder",
+    "OracleReport",
+    "check_linearizability",
+    "check_read_committed",
+]
+
+
+@dataclass(frozen=True)
+class HistoryOp:
+    """One completed operation in a recorded history."""
+
+    op_id: int
+    kind: str  # "insert" | "delete" | "search"
+    inv_ns: int
+    resp_ns: int
+    key: object = None
+    rid: object = None
+    query: object = None
+    #: insert/delete: ``True`` when the op took effect, ``False`` when a
+    #: delete found nothing; search: the frozenset of returned rids
+    result: object = None
+
+    def as_dict(self) -> dict:
+        """The op as a JSONL-ready dict."""
+        out = {
+            "op_id": self.op_id,
+            "kind": self.kind,
+            "inv_ns": self.inv_ns,
+            "resp_ns": self.resp_ns,
+        }
+        if self.key is not None:
+            out["key"] = self.key
+        if self.rid is not None:
+            out["rid"] = self.rid
+        if self.query is not None:
+            out["query"] = repr(self.query)
+        if self.kind == "search":
+            out["result"] = sorted(self.result or (), key=repr)
+        elif self.result is not None:
+            out["result"] = self.result
+        return out
+
+
+class HistoryRecorder:
+    """Thread-safe accumulator of :class:`HistoryOp` records."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._ops: list[HistoryOp] = []
+
+    def add(
+        self,
+        kind: str,
+        *,
+        inv_ns: int,
+        resp_ns: int,
+        key: object = None,
+        rid: object = None,
+        query: object = None,
+        result: object = None,
+    ) -> HistoryOp:
+        """Record one completed operation; returns the stored record."""
+        if kind == "search":
+            result = frozenset(result or ())
+        op = HistoryOp(
+            op_id=next(self._ids),
+            kind=kind,
+            inv_ns=inv_ns,
+            resp_ns=resp_ns,
+            key=key,
+            rid=rid,
+            query=query,
+            result=result,
+        )
+        with self._lock:
+            self._ops.append(op)
+        return op
+
+    def ops(self) -> list[HistoryOp]:
+        """All recorded operations, in invocation order."""
+        with self._lock:
+            out = list(self._ops)
+        out.sort(key=lambda o: o.inv_ns)
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ops)
+
+    def export_jsonl(self, path: str) -> str:
+        """Dump the history to ``path`` as canonical JSONL."""
+        return dump_jsonl(path, (op.as_dict() for op in self.ops()))
+
+
+@dataclass
+class OracleReport:
+    """Verdict of a history check."""
+
+    mode: str = "linearizability"
+    elements: int = 0
+    reads: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = "PASS" if self.ok else "FAIL"
+        head = (
+            f"{self.mode}: {verdict} ({self.elements} elements, "
+            f"{self.reads} reads checked)"
+        )
+        if self.ok:
+            return head
+        return head + "".join(f"\n  {v}" for v in self.violations)
+
+
+#: one register operation: (inv, resp, is_write, value, op_id)
+_RegOp = tuple[int, int, bool, bool, int]
+
+
+def _element_histories(
+    ops: Sequence[HistoryOp], covers: Callable[[object, object], bool]
+) -> dict[tuple, list[_RegOp]]:
+    """Split a set history into per-element register histories."""
+    elements: dict[tuple, list[_RegOp]] = {}
+    writes = [op for op in ops if op.kind in ("insert", "delete")]
+    searches = [op for op in ops if op.kind == "search"]
+    for op in writes:
+        elem = (op.key, op.rid)
+        took_effect = op.result is not False
+        if op.kind == "insert":
+            entry = (op.inv_ns, op.resp_ns, True, True, op.op_id)
+        elif took_effect:
+            entry = (op.inv_ns, op.resp_ns, True, False, op.op_id)
+        else:
+            # a delete that found nothing observed the element absent
+            entry = (op.inv_ns, op.resp_ns, False, False, op.op_id)
+        elements.setdefault(elem, []).append(entry)
+    for op in searches:
+        present: frozenset = op.result  # type: ignore[assignment]
+        for elem in elements:
+            key, rid = elem
+            if not covers(op.query, key):
+                continue
+            elements[elem].append(
+                (op.inv_ns, op.resp_ns, False, rid in present, op.op_id)
+            )
+    return elements
+
+
+def _register_linearizable(ops: list[_RegOp]) -> bool:
+    """Exact Wing & Gong check of one boolean register, initial False.
+
+    Memoized on (remaining-op set, register value); an op may be
+    linearized first among the remaining ones iff no other remaining op
+    responded before it was invoked.
+    """
+    n = len(ops)
+    failed: set[tuple[frozenset, bool]] = set()
+
+    def dfs(remaining: frozenset, value: bool) -> bool:
+        if not remaining:
+            return True
+        state = (remaining, value)
+        if state in failed:
+            return False
+        min_resp = min(ops[i][1] for i in remaining)
+        for i in remaining:
+            inv, _resp, is_write, v, _oid = ops[i]
+            if inv > min_resp:
+                continue  # some remaining op wholly precedes this one
+            if is_write:
+                if dfs(remaining - {i}, v):
+                    return True
+            elif v == value and dfs(remaining - {i}, value):
+                return True
+        failed.add(state)
+        return False
+
+    return dfs(frozenset(range(n)), False)
+
+
+def check_linearizability(
+    ops: Sequence[HistoryOp], covers: Callable[[object, object], bool]
+) -> OracleReport:
+    """Decide per-element linearizability of a recorded set history.
+
+    ``covers(query, key)`` is the domain predicate — whether a search
+    query's range includes ``key`` (e.g.
+    ``lambda q, k: q.contains(k)`` for B-tree intervals).
+    """
+    report = OracleReport(mode="linearizability")
+    for elem, regops in sorted(
+        _element_histories(ops, covers).items(), key=lambda kv: repr(kv[0])
+    ):
+        report.elements += 1
+        report.reads += sum(1 for o in regops if not o[2])
+        if not _register_linearizable(regops):
+            key, rid = elem
+            ordered = sorted(regops)
+            trace = ", ".join(
+                f"op{oid}:{'W' if w else 'R'}({v})"
+                for _inv, _resp, w, v, oid in ordered
+            )
+            report.violations.append(
+                f"element (key={key!r}, rid={rid!r}) has no "
+                f"linearization: [{trace}]"
+            )
+    return report
+
+
+def check_read_committed(
+    ops: Sequence[HistoryOp], covers: Callable[[object, object], bool]
+) -> OracleReport:
+    """The weaker per-read interval check (READ COMMITTED conformance).
+
+    Each read must individually be explainable by *some* committed
+    write state overlapping its interval; unlike linearizability, no
+    single total order across reads is required, so stale-but-committed
+    reads pass.  Violations here are unconditional bugs at every
+    isolation level.
+    """
+    report = OracleReport(mode="read-committed")
+    for elem, regops in sorted(
+        _element_histories(ops, covers).items(), key=lambda kv: repr(kv[0])
+    ):
+        report.elements += 1
+        insert = next(
+            (o for o in regops if o[2] and o[3]), None
+        )
+        delete = next(
+            (o for o in regops if o[2] and not o[3]), None
+        )
+        for inv, resp, is_write, value, oid in regops:
+            if is_write:
+                continue
+            report.reads += 1
+            key, rid = elem
+            if value:
+                # saw the element: the insert must have been invoked
+                # before the read responded, and the delete (if any)
+                # must not have responded before the read was invoked
+                if insert is None or resp < insert[0] or (
+                    delete is not None and inv > delete[1]
+                ):
+                    report.violations.append(
+                        f"op{oid} read (key={key!r}, rid={rid!r}) "
+                        "present outside its committed lifetime"
+                    )
+            else:
+                # missed the element: must be placeable before the
+                # insert committed or after the delete was invoked
+                after_insert = insert is not None and inv > insert[1]
+                before_delete = delete is None or resp < delete[0]
+                if after_insert and before_delete:
+                    report.violations.append(
+                        f"op{oid} read (key={key!r}, rid={rid!r}) "
+                        "absent although committed and not yet deleted"
+                    )
+    return report

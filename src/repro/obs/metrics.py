@@ -337,8 +337,11 @@ class MetricsRegistry:
     benchmarked by ``bench_obs_overhead.py``.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(
+        self, enabled: bool = True, trace_capacity: int = 1024
+    ) -> None:
         self.enabled = enabled
+        self.trace_capacity = trace_capacity
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
@@ -346,7 +349,7 @@ class MetricsRegistry:
         # imported here to avoid a cycle at module import time
         from repro.obs.tracer import Tracer
 
-        self.tracer = Tracer(enabled=enabled)
+        self.tracer = Tracer(capacity=trace_capacity, enabled=enabled)
 
     # ------------------------------------------------------------------
     # instrument creation (get-or-create)

@@ -68,6 +68,19 @@ class TraceEvent:
         return f"TraceEvent({self.name!r}{dur} t{self.thread_id})"
 
 
+class _Ring:
+    """One thread's private event ring plus its snapshot guard."""
+
+    __slots__ = ("events", "lock")
+
+    def __init__(self, capacity: int) -> None:
+        self.events: deque[TraceEvent] = deque(maxlen=capacity)
+        #: guards reader snapshots/clears against the owner's appends —
+        #: ``list(deque)`` during a concurrent append can raise
+        #: ``RuntimeError: deque mutated during iteration``
+        self.lock = threading.Lock()
+
+
 class Tracer:
     """Bounded per-thread event rings merged on demand.
 
@@ -85,16 +98,16 @@ class Tracer:
         self.enabled = enabled
         self._local = threading.local()
         self._lock = threading.Lock()
-        self._rings: list[deque] = []
+        self._rings: list[_Ring] = []
 
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
-    def _ring(self) -> deque:
+    def _ring(self) -> _Ring:
         try:
             return self._local.ring
         except AttributeError:
-            ring: deque = deque(maxlen=self.capacity)
+            ring = _Ring(self.capacity)
             with self._lock:
                 self._rings.append(ring)
             self._local.ring = ring
@@ -104,29 +117,31 @@ class Tracer:
         """Record a point event on the calling thread's ring."""
         if not self.enabled:
             return
-        self._ring().append(
-            TraceEvent(
-                time.perf_counter_ns(),
-                threading.get_ident(),
-                name,
-                None,
-                data or None,
-            )
+        ring = self._ring()
+        event = TraceEvent(
+            time.perf_counter_ns(),
+            threading.get_ident(),
+            name,
+            None,
+            data or None,
         )
+        with ring.lock:
+            ring.events.append(event)
 
     def record_span(self, name: str, dur_ns: int, **data: object) -> None:
         """Record an already-timed span (``dur_ns`` measured by caller)."""
         if not self.enabled:
             return
-        self._ring().append(
-            TraceEvent(
-                time.perf_counter_ns(),
-                threading.get_ident(),
-                name,
-                dur_ns,
-                data or None,
-            )
+        ring = self._ring()
+        event = TraceEvent(
+            time.perf_counter_ns(),
+            threading.get_ident(),
+            name,
+            dur_ns,
+            data or None,
         )
+        with ring.lock:
+            ring.events.append(event)
 
     @contextmanager
     def span(self, name: str, **data: object) -> Iterator[None]:
@@ -148,15 +163,17 @@ class Tracer:
     def events(self, *, name: str | None = None) -> list[TraceEvent]:
         """All retained events, merged across threads in time order.
 
-        A fuzzy snapshot under concurrency, like any other reader: each
-        ring is copied atomically (GIL), but rings keep filling while
-        the merge runs.
+        A fuzzy snapshot under concurrency, like any other reader —
+        rings keep filling while the merge runs — but a *consistent*
+        one: each ring is copied under its own guard, so a worker
+        appending mid-snapshot can never corrupt the copy.
         """
         with self._lock:
             rings = list(self._rings)
         merged: list[TraceEvent] = []
         for ring in rings:
-            merged.extend(list(ring))
+            with ring.lock:
+                merged.extend(ring.events)
         if name is not None:
             merged = [e for e in merged if e.name == name]
         merged.sort(key=lambda e: e.ts_ns)
@@ -167,9 +184,14 @@ class Tracer:
         with self._lock:
             rings = list(self._rings)
         for ring in rings:
-            ring.clear()
+            with ring.lock:
+                ring.events.clear()
 
     def __len__(self) -> int:
         with self._lock:
             rings = list(self._rings)
-        return sum(len(ring) for ring in rings)
+        total = 0
+        for ring in rings:
+            with ring.lock:
+                total += len(ring.events)
+        return total

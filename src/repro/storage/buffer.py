@@ -48,6 +48,7 @@ class Frame:
         page: Page,
         latch_timer: object = None,
         witness: object = None,
+        tracker: object = None,
     ) -> None:
         self.page = page
         self.pin_count = 0
@@ -56,7 +57,8 @@ class Frame:
         #: flush — the recLSN that goes into the dirty page table.
         self.rec_lsn: int | None = None
         self.latch = SXLatch(
-            name=page.pid, timer=latch_timer, witness=witness
+            name=page.pid, timer=latch_timer, witness=witness,
+            tracker=tracker,
         )
         #: second-chance reference bit, owned by the frame's shard.
         self.ref = False
@@ -263,6 +265,10 @@ class BufferPool:
         # free of witness calls, same gating idea as ``_track_fixes``;
         # bench_hotpath counter-asserts the off state.
         self._witness = None
+        # Span tracker (Database(op_tracing=True)): pins and I/O are
+        # attributed to the calling thread's operation span.  Same
+        # gating pattern — ``None`` keeps the hot paths span-free.
+        self._tracker = None
         self._latch_timer = (
             LatchTimer(self.metrics) if self.metrics.enabled else None
         )
@@ -311,6 +317,19 @@ class BufferPool:
             with self._locked(shard):
                 for frame in shard.frames.values():
                     frame.latch.witness = witness
+
+    def attach_span_tracker(self, tracker) -> None:
+        """Install (or clear, with ``None``) a span tracker.
+
+        Future frames inherit it through their latches; already-resident
+        frames are swept so restarts with ``op_tracing`` toggled behave
+        uniformly (mirrors :meth:`attach_witness`).
+        """
+        self._tracker = tracker
+        for shard in self._shards:
+            with self._locked(shard):
+                for frame in shard.frames.values():
+                    frame.latch.tracker = tracker
 
     # ------------------------------------------------------------------
     # sharding helpers
@@ -427,7 +446,10 @@ class BufferPool:
                     self.wal_flush(snapshot.page_lsn)
                     t0 = perf_counter_ns()
                     self.store.write(snapshot)
-                    self._h_write_ns.record(perf_counter_ns() - t0)
+                    dur = perf_counter_ns() - t0
+                    self._h_write_ns.record(dur)
+                    if self._tracker is not None:
+                        self._tracker.add_io(dur)
                     write_ok = True
                 finally:
                     with self._locked(shard):
@@ -460,6 +482,8 @@ class BufferPool:
             self._ledger().append(frame)
         if self._witness is not None:
             self._witness.note_pinned(pid)
+        if self._tracker is not None:
+            self._tracker.note_fix()
         return frame
 
     def _ledger(self) -> list:
@@ -547,7 +571,9 @@ class BufferPool:
             # We own the load for this pid.
             try:
                 page = self._read_page(pid)
-                frame = Frame(page, self._latch_timer, self._witness)
+                frame = Frame(
+                    page, self._latch_timer, self._witness, self._tracker
+                )
                 frame.pin_count = 1
                 self._reserve_slot(self.shard_of(pid))
                 with self._locked(shard):
@@ -574,7 +600,10 @@ class BufferPool:
             try:
                 t0 = perf_counter_ns()
                 page = self.store.read(pid)
-                self._h_read_ns.record(perf_counter_ns() - t0)
+                dur = perf_counter_ns() - t0
+                self._h_read_ns.record(dur)
+                if self._tracker is not None:
+                    self._tracker.add_io(dur)
                 return page
             except TransientIOError:
                 attempt += 1
@@ -619,7 +648,9 @@ class BufferPool:
     def new_frame(self, kind: PageKind, level: int = 0) -> Frame:
         """Allocate a brand-new page and return its frame, pinned once."""
         page = self.store.new_page(kind, level)
-        frame = Frame(page, self._latch_timer, self._witness)
+        frame = Frame(
+            page, self._latch_timer, self._witness, self._tracker
+        )
         frame.pin_count = 1
         shard = self._shard(page.pid)
         self._reserve_slot(self.shard_of(page.pid))
@@ -629,11 +660,15 @@ class BufferPool:
             self._ledger().append(frame)
         if self._witness is not None:
             self._witness.note_pinned(page.pid)
+        if self._tracker is not None:
+            self._tracker.note_fix()
         return frame
 
     def adopt(self, page: Page) -> Frame:
         """Install an externally built page image (recovery redo path)."""
-        frame = Frame(page, self._latch_timer, self._witness)
+        frame = Frame(
+            page, self._latch_timer, self._witness, self._tracker
+        )
         shard = self._shard(page.pid)
         with self._locked(shard):
             if page.pid in shard.frames:
@@ -700,7 +735,10 @@ class BufferPool:
             self.wal_flush(snapshot.page_lsn)
             t0 = perf_counter_ns()
             self.store.write(snapshot)
-            self._h_write_ns.record(perf_counter_ns() - t0)
+            dur = perf_counter_ns() - t0
+            self._h_write_ns.record(dur)
+            if self._tracker is not None:
+                self._tracker.add_io(dur)
         except BaseException:
             self._c_write_faults.inc()
             with self._locked(shard):

@@ -60,6 +60,7 @@ class SXLatch:
     __slots__ = (
         "name",
         "witness",
+        "tracker",
         "_cond",
         "_readers",
         "_writer",
@@ -74,11 +75,16 @@ class SXLatch:
         name: object = None,
         timer: object = None,
         witness: object = None,
+        tracker: object = None,
     ) -> None:
         self.name = name
         #: optional lock-order witness (repro.analysis.lockdep); ``None``
         #: — the default — keeps the hot path free of any extra calls
         self.witness = witness
+        #: optional span tracker (repro.obs.spans); when set, every
+        #: acquisition's full duration (wait + grant path) is attributed
+        #: to the calling thread's active operation span
+        self.tracker = tracker
         self._cond = threading.Condition()
         self._readers: set[int] = set()
         self._writer: int | None = None
@@ -106,9 +112,13 @@ class SXLatch:
         timer = self._timer
         # Timing is sampled (see LatchTimer.sample) — this is the
         # hottest path in the system and unsampled clock reads alone
-        # cost several percent of total throughput.
+        # cost several percent of total throughput.  An active op span,
+        # by contrast, always times: attribution must be exact and
+        # op tracing is an opt-in diagnostic mode.
         sampled = timer is not None and timer.sample()
-        start = perf_counter_ns() if sampled else 0
+        tracker = self.tracker
+        span = tracker.active() if tracker is not None else None
+        start = perf_counter_ns() if (sampled or span is not None) else 0
         with self._cond:
             if self._writer == me or me in self._readers:
                 raise LatchError(
@@ -155,6 +165,8 @@ class SXLatch:
                     self._acquired_at.pop(me, None)
                     self._cond.notify_all()
                     raise
+            if span is not None:
+                span.latch_wait_ns += perf_counter_ns() - start
             if self.witness is not None:
                 self.witness.note_acquired("latch", self._witness_key())
             return True

@@ -1,0 +1,172 @@
+"""Pretty-printer for op-span traces and flight-recorder black boxes.
+
+Renders the JSONL artifacts the observability layer exports —
+per-operation spans (``SpanTracker.export_jsonl``) and flight-recorder
+dumps (``FlightRecorder.dump``) — as aligned ASCII, with per-kind
+latency attribution (time in latch waits vs lock waits vs IO vs WAL vs
+CPU).  The file format is auto-detected per line: flight events carry
+``seq``/``name``, spans carry ``op_id``/``kind``.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.tools.trace spans.jsonl
+    PYTHONPATH=src python -m repro.tools.trace blackbox.jsonl
+    PYTHONPATH=src python -m repro.tools.trace --demo
+
+``--demo`` runs a small seeded traced workload and prints its spans —
+a zero-setup way to see what ``op_tracing=True`` buys.
+"""
+
+from __future__ import annotations
+
+from repro.harness.report import render_table
+from repro.obs.export import load_jsonl
+from repro.obs.spans import ATTRIBUTION_FIELDS
+
+__all__ = [
+    "render_flight_events",
+    "render_span_attribution",
+    "render_span_table",
+]
+
+
+def _us(ns: object) -> float:
+    return float(ns or 0) / 1000.0
+
+
+def render_span_table(spans: list[dict], *, limit: int = 40) -> str:
+    """One row per span: identity plus the full attribution split."""
+    rows = []
+    for span in spans[-limit:]:
+        rows.append(
+            {
+                "op": span.get("op_id"),
+                "kind": span.get("kind"),
+                "tree": span.get("tree", ""),
+                "total_us": _us(span.get("total_ns")),
+                "latch_us": _us(span.get("latch_wait_ns")),
+                "lock_us": _us(span.get("lock_wait_ns")),
+                "io_us": _us(span.get("io_ns")),
+                "wal_us": _us(span.get("wal_ns")),
+                "cpu_us": _us(span.get("cpu_ns")),
+                "fixes": span.get("buffer_fixes", 0),
+                "wal+": span.get("wal_appends", 0),
+            }
+        )
+    title = f"op spans ({len(spans)} total, last {len(rows)} shown)"
+    if not rows:
+        return f"{title}\n(no spans recorded)"
+    return render_table(rows, title=title)
+
+
+def render_span_attribution(spans: list[dict]) -> str:
+    """Aggregate per-kind: where did each operation type spend time?"""
+    agg: dict[str, dict[str, float]] = {}
+    for span in spans:
+        bucket = agg.setdefault(
+            str(span.get("kind")),
+            {"count": 0, "total_ns": 0.0, "cpu_ns": 0.0}
+            | {f: 0.0 for f in ATTRIBUTION_FIELDS},
+        )
+        bucket["count"] += 1
+        bucket["total_ns"] += float(span.get("total_ns") or 0)
+        bucket["cpu_ns"] += float(span.get("cpu_ns") or 0)
+        for f in ATTRIBUTION_FIELDS:
+            bucket[f] += float(span.get(f) or 0)
+    rows = []
+    for kind in sorted(agg):
+        bucket = agg[kind]
+        total = bucket["total_ns"] or 1.0
+        rows.append(
+            {
+                "kind": kind,
+                "count": int(bucket["count"]),
+                "total_ms": bucket["total_ns"] / 1e6,
+                "latch%": 100.0 * bucket["latch_wait_ns"] / total,
+                "lock%": 100.0 * bucket["lock_wait_ns"] / total,
+                "io%": 100.0 * bucket["io_ns"] / total,
+                "wal%": 100.0 * bucket["wal_ns"] / total,
+                "cpu%": 100.0 * bucket["cpu_ns"] / total,
+            }
+        )
+    if not rows:
+        return "attribution\n(no spans recorded)"
+    return render_table(rows, title="latency attribution by op kind")
+
+
+def render_flight_events(events: list[dict], *, limit: int = 80) -> str:
+    """The black box, one line per event, oldest first."""
+    lines = [f"flight recorder ({len(events)} events)"]
+    for event in events[-limit:]:
+        seq = event.get("seq")
+        name = event.get("name")
+        data = {
+            k: v
+            for k, v in event.items()
+            if k not in ("seq", "name", "data", "ts_ns", "thread")
+        }
+        nested = event.get("data")
+        if isinstance(nested, dict):
+            data.update(nested)
+        rendered = " ".join(f"{k}={v!r}" for k, v in sorted(data.items()))
+        lines.append(f"  #{seq:<6} {name:<28} {rendered}".rstrip())
+    if len(events) > limit:
+        lines.insert(1, f"  ... ({len(events) - limit} older omitted)")
+    return "\n".join(lines)
+
+
+def render_file(path: str) -> str:
+    """Auto-detect and render a span or flight-recorder JSONL file."""
+    records = load_jsonl(path)
+    if not records:
+        return f"{path}: empty"
+    if "op_id" in records[0]:
+        return "\n\n".join(
+            [render_span_table(records), render_span_attribution(records)]
+        )
+    return render_flight_events(records)
+
+
+def _demo() -> str:
+    """Run a tiny traced workload and render its spans."""
+    from repro.workload.scenario import run_scenario
+
+    result = run_scenario(seed=7, ops=60, threads=2, op_tracing=True)
+    spans = [s.as_dict() for s in result.db.spans.completed()]
+    parts = [render_span_table(spans), render_span_attribution(spans)]
+    if result.db.flightrec is not None:
+        parts.append(
+            render_flight_events(
+                [e.as_dict() for e in result.db.flightrec.events()],
+                limit=12,
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="pretty-print op-span / flight-recorder JSONL"
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="JSONL files to render (auto-detected)"
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="run a small traced workload and render its spans",
+    )
+    args = parser.parse_args(argv)
+    if not args.paths and not args.demo:
+        parser.error("give at least one JSONL path, or --demo")
+    outputs = [render_file(path) for path in args.paths]
+    if args.demo:
+        outputs.append(_demo())
+    print("\n\n".join(outputs))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

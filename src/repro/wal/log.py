@@ -105,6 +105,11 @@ class LogManager:
         #: are coalesced (group commit), see :meth:`flush`
         self.flush_delay = flush_delay
         self.stats = LogStats(metrics)
+        #: span tracker (Database(op_tracing=True)); the database
+        #: assembly (re)assigns this on every build, so a restart with
+        #: tracing toggled never keeps a stale tracker.  ``None`` keeps
+        #: append/flush span-free.
+        self.tracker = None
         self._mutex = threading.Lock()
         self._records: list[LogRecord] = []
         self._flushed_lsn = NULL_LSN
@@ -131,7 +136,9 @@ class LogManager:
             self._records.append(record)
             self._last_lsn_of[record.xid] = lsn
             self.stats.note_append()
-            return lsn
+        if self.tracker is not None:
+            self.tracker.note_wal_append()
+        return lsn
 
     def get(self, lsn: int) -> LogRecord:
         """The record at ``lsn`` (raises for out-of-range LSNs)."""
@@ -183,6 +190,20 @@ class LogManager:
         this request's LSN, the caller waits for it instead of issuing
         its own I/O — N concurrent committers share one force.
         """
+        tracker = self.tracker
+        if tracker is None:
+            self._flush(lsn)
+            return
+        # With op tracing on, the whole flush — leading, riding along
+        # or finding the LSN already durable — is the operation's WAL
+        # wait and is attributed to its span.
+        t0 = perf_counter_ns()
+        try:
+            self._flush(lsn)
+        finally:
+            tracker.add_wal(perf_counter_ns() - t0)
+
+    def _flush(self, lsn: int | None = None) -> None:
         rode_along = False
         with self._mutex:
             target = len(self._records) if lsn is None else min(

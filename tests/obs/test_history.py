@@ -1,0 +1,289 @@
+"""History recorder + linearizability/read-committed oracle."""
+
+import threading
+
+from repro.ext.btree import Interval
+from repro.obs.export import load_jsonl
+from repro.obs.history import (
+    HistoryRecorder,
+    check_linearizability,
+    check_read_committed,
+)
+from repro.workload.scenario import covers, run_scenario
+
+
+def _covers_key(query, key):
+    return query == key
+
+
+def _history(entries):
+    """Build a recorder from (kind, inv, resp, key, rid, result) rows."""
+    rec = HistoryRecorder()
+    for kind, inv, resp, key, rid, result in entries:
+        if kind == "search":
+            rec.add(
+                "search", inv_ns=inv, resp_ns=resp, query=key,
+                result=result,
+            )
+        else:
+            rec.add(
+                kind, inv_ns=inv, resp_ns=resp, key=key, rid=rid,
+                result=result,
+            )
+    return rec.ops()
+
+
+class TestRecorder:
+    def test_ops_sorted_by_invocation(self):
+        rec = HistoryRecorder()
+        rec.add("insert", inv_ns=50, resp_ns=60, key=1, rid="b")
+        rec.add("insert", inv_ns=10, resp_ns=20, key=1, rid="a")
+        assert [op.rid for op in rec.ops()] == ["a", "b"]
+        assert len(rec) == 2
+
+    def test_search_results_become_frozensets(self):
+        rec = HistoryRecorder()
+        op = rec.add(
+            "search", inv_ns=1, resp_ns=2, query=Interval(0, 5),
+            result=["r1", "r2", "r1"],
+        )
+        assert op.result == frozenset({"r1", "r2"})
+
+    def test_thread_safe_add(self):
+        rec = HistoryRecorder()
+
+        def worker():
+            for i in range(200):
+                rec.add("insert", inv_ns=i, resp_ns=i + 1, key=i, rid=i)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ops = rec.ops()
+        assert len(ops) == 800
+        assert len({op.op_id for op in ops}) == 800
+
+    def test_export_jsonl(self, tmp_path):
+        rec = HistoryRecorder()
+        rec.add("insert", inv_ns=1, resp_ns=2, key=3, rid="r1", result=True)
+        rec.add(
+            "search", inv_ns=3, resp_ns=4, query=Interval(0, 5),
+            result=["r1"],
+        )
+        path = rec.export_jsonl(str(tmp_path / "history.jsonl"))
+        first, second = load_jsonl(path)
+        assert first["kind"] == "insert" and first["result"] is True
+        assert second["result"] == ["r1"]
+
+
+class TestLinearizability:
+    def test_sequential_lifetime_is_linearizable(self):
+        ops = _history(
+            [
+                ("insert", 0, 10, 1, "r1", True),
+                ("search", 20, 30, 1, None, {"r1"}),
+                ("delete", 40, 50, 1, "r1", True),
+                ("search", 60, 70, 1, None, set()),
+            ]
+        )
+        report = check_linearizability(ops, _covers_key)
+        assert report.ok
+        assert report.elements == 1
+        assert report.reads == 2
+
+    def test_concurrent_reads_during_write_may_go_either_way(self):
+        # both reads overlap the insert: one sees it, one does not —
+        # the insert linearizes between them
+        ops = _history(
+            [
+                ("insert", 0, 100, 1, "r1", True),
+                ("search", 10, 20, 1, None, set()),
+                ("search", 30, 40, 1, None, {"r1"}),
+            ]
+        )
+        assert check_linearizability(ops, _covers_key).ok
+
+    def test_read_your_writes_violation_is_flagged(self):
+        # the insert committed at 10, yet a strictly later search does
+        # not see the element (and nothing deleted it)
+        ops = _history(
+            [
+                ("insert", 0, 10, 1, "r1", True),
+                ("search", 20, 30, 1, None, set()),
+            ]
+        )
+        report = check_linearizability(ops, _covers_key)
+        assert not report.ok
+        assert "rid='r1'" in report.violations[0]
+        # this one is a read-committed violation too
+        assert not check_read_committed(ops, _covers_key).ok
+
+    def test_lost_update_is_flagged(self):
+        # the delete committed at 50, yet a strictly later search still
+        # sees the element: the delete's effect was lost
+        ops = _history(
+            [
+                ("insert", 0, 10, 1, "r1", True),
+                ("delete", 40, 50, 1, "r1", True),
+                ("search", 60, 70, 1, None, {"r1"}),
+            ]
+        )
+        report = check_linearizability(ops, _covers_key)
+        assert not report.ok
+        assert not check_read_committed(ops, _covers_key).ok
+
+    def test_new_then_old_value_across_ordered_reads_is_flagged(self):
+        # R1 sees the new value, then a strictly later R2 sees the old
+        # one: individually stale-OK, jointly not linearizable
+        ops = _history(
+            [
+                ("insert", 0, 100, 1, "r1", True),
+                ("search", 10, 20, 1, None, {"r1"}),
+                ("search", 30, 40, 1, None, set()),
+            ]
+        )
+        report = check_linearizability(ops, _covers_key)
+        assert not report.ok
+        # read-committed accepts it: each read alone overlaps the write
+        assert check_read_committed(ops, _covers_key).ok
+
+    def test_failed_delete_is_a_read_of_absence(self):
+        # delete-not-found before the insert committed: fine
+        ops = _history(
+            [
+                ("delete", 0, 5, 1, "r1", False),
+                ("insert", 10, 20, 1, "r1", True),
+                ("search", 30, 40, 1, None, {"r1"}),
+            ]
+        )
+        assert check_linearizability(ops, _covers_key).ok
+        # delete-not-found strictly after the insert committed: bug
+        ops = _history(
+            [
+                ("insert", 0, 5, 1, "r1", True),
+                ("delete", 10, 20, 1, "r1", False),
+            ]
+        )
+        assert not check_linearizability(ops, _covers_key).ok
+
+    def test_elements_are_independent(self):
+        # a violation on one element does not implicate the others
+        ops = _history(
+            [
+                ("insert", 0, 10, 1, "r1", True),
+                ("insert", 0, 10, 2, "r2", True),
+                ("search", 20, 30, 1, None, set()),  # violation
+                ("search", 20, 30, 2, None, {"r2"}),  # fine
+            ]
+        )
+        report = check_linearizability(ops, _covers_key)
+        assert report.elements == 2
+        assert len(report.violations) == 1
+
+    def test_range_queries_read_every_covered_element(self):
+        rec = HistoryRecorder()
+        rec.add("insert", inv_ns=0, resp_ns=10, key=3, rid="r1", result=True)
+        rec.add("insert", inv_ns=0, resp_ns=10, key=7, rid="r2", result=True)
+        # covers both keys but reports only one: r2 was dropped
+        rec.add(
+            "search", inv_ns=20, resp_ns=30, query=Interval(0, 10),
+            result={"r1"},
+        )
+        report = check_linearizability(
+            rec.ops(), lambda q, k: q.contains(k)
+        )
+        assert not report.ok
+        assert "r2" in report.violations[0]
+
+
+class TestReadCommitted:
+    def test_read_before_any_insert_must_be_absent(self):
+        ops = _history(
+            [
+                ("insert", 10, 20, 1, "r1", True),
+                ("search", 30, 40, 1, None, set()),
+            ]
+        )
+        report = check_read_committed(ops, _covers_key)
+        assert not report.ok
+
+    def test_phantom_presence_without_insert_is_flagged(self):
+        rec = HistoryRecorder()
+        rec.add("insert", inv_ns=0, resp_ns=10, key=1, rid="r1", result=True)
+        rec.add("delete", inv_ns=20, resp_ns=30, key=1, rid="r1", result=True)
+        rec.add(
+            "search", inv_ns=40, resp_ns=50, query=Interval(0, 5),
+            result={"r1"},
+        )
+        report = check_read_committed(
+            rec.ops(), lambda q, k: q.contains(k)
+        )
+        assert not report.ok
+        assert "outside its committed lifetime" in report.violations[0]
+
+
+class _StaleCacheTree:
+    """Oracle-test-only: a tree wrapper with a deliberately broken cache.
+
+    Every (key, rid) a search ever returned is remembered and unioned
+    into every later covering search — deleted elements keep being
+    reported, which the oracle must flag.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        self._lock = threading.Lock()
+        self._seen: dict[object, set] = {}
+
+    def insert(self, txn, key, rid):
+        self._inner.insert(txn, key, rid)
+
+    def delete(self, txn, key, rid):
+        self._inner.delete(txn, key, rid)
+
+    def search(self, txn, query):
+        real = list(self._inner.search(txn, query))
+        with self._lock:
+            for key, rid in real:
+                self._seen.setdefault(key, set()).add(rid)
+            stale = [
+                (key, rid)
+                for key, rids in self._seen.items()
+                if query.contains(key)
+                for rid in rids
+            ]
+        return list({*real, *stale})
+
+
+class TestEndToEnd:
+    def test_clean_scenario_passes_both_oracles(self):
+        result = run_scenario(seed=5, ops=120, threads=3, preload=20)
+        assert result.dropped == 0
+        assert result.linearizability.ok
+        assert result.read_committed.ok
+
+    def test_broken_cache_scenario_is_flagged(self):
+        from repro.database import Database
+        from repro.ext.btree import BTreeExtension
+
+        db = Database(page_capacity=16, pool_capacity=128, lock_timeout=10.0)
+        tree = _StaleCacheTree(db.create_tree("scenario", BTreeExtension()))
+        result = run_scenario(
+            seed=5, ops=150, threads=2, preload=20,
+            selectivity=0.2, db=db, tree=tree,
+        )
+        # the stale cache resurrects deleted elements: both oracles
+        # must flag the history
+        assert not result.linearizability.ok
+        assert not result.read_committed.ok
+        assert any(
+            "lifetime" in v for v in result.read_committed.violations
+        )
+
+
+class TestCoversPredicate:
+    def test_interval_covers(self):
+        assert covers(Interval(0, 10), 5)
+        assert not covers(Interval(0, 10), 50)

@@ -1,0 +1,70 @@
+"""Observability knobs must survive ``Database.restart``."""
+
+from repro.database import Database
+from repro.ext.btree import BTreeExtension
+
+
+def _crash_restart(db, **config):
+    tree = db.tree("t")
+    txn = db.begin()
+    tree.insert(txn, 1, "r1")
+    db.commit(txn)
+    db.crash()
+    return db.restart({"t": BTreeExtension()}, **config)
+
+
+class TestRestartPropagation:
+    def test_op_tracing_and_capacity_carry_over(self):
+        db = Database(page_capacity=8, op_tracing=True, trace_capacity=77)
+        db.create_tree("t", BTreeExtension())
+        db2 = _crash_restart(db)
+        assert db2.op_tracing is True
+        assert db2.spans is not None
+        assert db2.trace_capacity == 77
+        assert db2.metrics.trace_capacity == 77
+        # and the revived tracker is live: recovery's ops aside, a new
+        # operation gets a span
+        tree = db2.tree("t")
+        txn = db2.begin()
+        tree.insert(txn, 2, "r2")
+        db2.commit(txn)
+        assert any(s.kind == "insert" for s in db2.spans.completed())
+
+    def test_tracing_off_stays_off(self):
+        db = Database(page_capacity=8)
+        db.create_tree("t", BTreeExtension())
+        db2 = _crash_restart(db)
+        assert db2.spans is None
+
+    def test_explicit_restart_override_wins(self):
+        db = Database(page_capacity=8)
+        db.create_tree("t", BTreeExtension())
+        db2 = _crash_restart(db, op_tracing=True)
+        assert db2.spans is not None
+        db3 = _crash_restart(db2, op_tracing=False)
+        assert db3.spans is None
+
+    def test_flight_recorder_knobs_carry_over(self):
+        db = Database(page_capacity=8, flight_capacity=9)
+        db.create_tree("t", BTreeExtension())
+        db2 = _crash_restart(db)
+        assert db2.flight_recorder_enabled is True
+        # same instance: the black box is the external observer
+        assert db2.flightrec is db.flightrec
+        assert db2.flightrec.capacity == 9
+
+    def test_disabled_flight_recorder_stays_disabled(self):
+        db = Database(page_capacity=8, flight_recorder=False)
+        db.create_tree("t", BTreeExtension())
+        db2 = _crash_restart(db)
+        assert db2.flightrec is None
+
+    def test_wal_tracker_is_rebound_not_stale(self):
+        # restart with tracing toggled off must not leave the new log
+        # manager pointing at the old tracker
+        db = Database(page_capacity=8, op_tracing=True)
+        db.create_tree("t", BTreeExtension())
+        db2 = _crash_restart(db, op_tracing=False)
+        assert db2.log.tracker is None
+        db3 = _crash_restart(db2, op_tracing=True)
+        assert db3.log.tracker is db3.spans

@@ -1,0 +1,186 @@
+"""Op-scoped span trees: lifecycle, attribution, database wiring."""
+
+import threading
+
+from repro.database import Database
+from repro.ext.btree import BTreeExtension, Interval
+from repro.obs.export import load_jsonl
+from repro.obs.spans import ATTRIBUTION_FIELDS, SpanTracker
+
+
+class TestSpanLifecycle:
+    def test_begin_finish_produces_a_timed_span(self):
+        tracker = SpanTracker()
+        span = tracker.begin("insert", tree="t")
+        assert span is not None
+        assert tracker.active() is span
+        tracker.finish(span)
+        assert tracker.active() is None
+        assert span.total_ns > 0
+        assert span.cpu_ns <= span.total_ns
+
+    def test_nested_begin_folds_into_outermost(self):
+        tracker = SpanTracker()
+        outer = tracker.begin("delete")
+        inner = tracker.begin("search")
+        assert inner is None
+        # attribution during the nested phase lands on the outer span
+        tracker.add_io(100)
+        assert outer.io_ns == 100
+        tracker.finish(inner)  # no-op
+        assert tracker.active() is outer
+        tracker.finish(outer)
+        assert tracker.active() is None
+
+    def test_started_counts_every_span_ever_begun(self):
+        tracker = SpanTracker(capacity=2)
+        for _ in range(5):
+            tracker.finish(tracker.begin("search"))
+        assert tracker.started == 5
+        # the ring retains only the newest `capacity` spans
+        assert len(tracker.completed()) == 2
+
+    def test_spans_are_thread_local(self):
+        tracker = SpanTracker()
+        main_span = tracker.begin("insert")
+        seen = {}
+
+        def other():
+            seen["active"] = tracker.active()
+            span = tracker.begin("search")
+            seen["own"] = span
+            tracker.add_lock_wait(7)
+            tracker.finish(span)
+
+        t = threading.Thread(target=other)
+        t.start()
+        t.join()
+        assert seen["active"] is None
+        assert seen["own"] is not None
+        assert seen["own"].lock_wait_ns == 7
+        assert main_span.lock_wait_ns == 0
+        tracker.finish(main_span)
+
+
+class TestAttribution:
+    def test_hooks_are_noops_without_an_active_span(self):
+        tracker = SpanTracker()
+        tracker.add_latch_wait(1)
+        tracker.add_lock_wait(1)
+        tracker.add_io(1)
+        tracker.add_wal(1)
+        tracker.note_wal_append()
+        tracker.note_fix()
+        tracker.note_event("gist.split", pid=1)
+        assert tracker.completed() == []
+
+    def test_hooks_accumulate_on_the_active_span(self):
+        tracker = SpanTracker()
+        span = tracker.begin("insert")
+        tracker.add_latch_wait(10)
+        tracker.add_latch_wait(5)
+        tracker.add_lock_wait(20)
+        tracker.add_io(30)
+        tracker.add_wal(40)
+        tracker.note_wal_append()
+        tracker.note_wal_append()
+        tracker.note_fix()
+        tracker.note_event("gist.split", pid=3, new_pid=4)
+        tracker.finish(span)
+        assert span.latch_wait_ns == 15
+        assert span.lock_wait_ns == 20
+        assert span.io_ns == 30
+        assert span.wal_ns == 40
+        assert span.wal_appends == 2
+        assert span.buffer_fixes == 1
+        assert span.events == [("gist.split", {"pid": 3, "new_pid": 4})]
+
+    def test_cpu_is_the_unattributed_residue(self):
+        tracker = SpanTracker()
+        span = tracker.begin("search")
+        tracker.finish(span)
+        waits = sum(getattr(span, f) for f in ATTRIBUTION_FIELDS)
+        assert span.cpu_ns == span.total_ns - waits
+        # cpu never goes negative even if attribution overshoots
+        span.io_ns = span.total_ns * 2
+        assert span.cpu_ns == 0
+
+    def test_finish_feeds_per_kind_aggregates(self):
+        tracker = SpanTracker()
+        for _ in range(3):
+            span = tracker.begin("insert")
+            tracker.add_io(100)
+            tracker.finish(span)
+        snap = tracker.metrics.snapshot()
+        assert snap["op"]["insert"]["count"] == 3
+        assert snap["op"]["insert"]["io_ns"] == 300
+        assert snap["op"]["insert"]["total_ns"]["count"] == 3
+
+    def test_as_dict_and_export_roundtrip(self, tmp_path):
+        tracker = SpanTracker()
+        span = tracker.begin("delete", tree="t")
+        tracker.note_event("gist.split", pid=9)
+        tracker.finish(span)
+        d = span.as_dict()
+        assert d["kind"] == "delete"
+        assert d["tree"] == "t"
+        assert d["events"] == [{"name": "gist.split", "pid": 9}]
+        path = tracker.export_jsonl(str(tmp_path / "spans.jsonl"))
+        (loaded,) = load_jsonl(path)
+        assert loaded["op_id"] == span.op_id
+        assert loaded["total_ns"] == span.total_ns
+
+
+class TestDatabaseWiring:
+    def test_tracing_off_by_default(self):
+        db = Database(page_capacity=8)
+        assert db.spans is None
+        db.create_tree("t", BTreeExtension())
+        txn = db.begin()
+        db.tree("t").insert(txn, 1, "r1")
+        db.commit(txn)
+        assert "op" not in db.metrics.snapshot()
+
+    def test_traced_operations_attribute_their_work(self):
+        db = Database(page_capacity=8, op_tracing=True)
+        tree = db.create_tree("t", BTreeExtension())
+        txn = db.begin()
+        for i in range(40):
+            tree.insert(txn, i, f"r{i}")
+        tree.search(txn, Interval(0, 50))
+        db.commit(txn)
+        kinds = {s.kind for s in db.spans.completed()}
+        assert {"insert", "search", "commit"} <= kinds
+        inserts = [s for s in db.spans.completed() if s.kind == "insert"]
+        assert all(s.buffer_fixes > 0 for s in inserts)
+        assert all(s.wal_appends > 0 for s in inserts)
+        commits = [s for s in db.spans.completed() if s.kind == "commit"]
+        # commit forces the log: the flush wait is attributed to WAL
+        assert any(s.wal_ns > 0 for s in commits)
+        snap = db.metrics.snapshot()
+        assert snap["op"]["insert"]["count"] == 40
+        assert snap["op"]["insert"]["buffer_fixes"] > 0
+
+    def test_split_lands_as_a_span_event(self):
+        db = Database(page_capacity=4, op_tracing=True)
+        tree = db.create_tree("t", BTreeExtension())
+        txn = db.begin()
+        for i in range(30):
+            tree.insert(txn, i, f"r{i}")
+        db.commit(txn)
+        events = [
+            name
+            for span in db.spans.completed()
+            for name, _ in span.events
+        ]
+        assert "gist.root_split" in events
+        assert "gist.split" in events
+
+    def test_abort_span_kind(self):
+        db = Database(page_capacity=8, op_tracing=True)
+        tree = db.create_tree("t", BTreeExtension())
+        txn = db.begin()
+        tree.insert(txn, 1, "r1")
+        db.rollback(txn)
+        kinds = [s.kind for s in db.spans.completed()]
+        assert "abort" in kinds

@@ -107,3 +107,60 @@ class TestDisabled:
         with tracer.span("body"):
             pass
         assert tracer.events() == []
+
+
+class TestConcurrentSnapshot:
+    """events()/clear() vs live appenders (regression: the rings were
+    previously iterated bare, so a concurrent append could raise
+    ``RuntimeError: deque mutated during iteration``)."""
+
+    def test_snapshot_while_workers_append(self):
+        tracer = Tracer(capacity=32)
+        stop = threading.Event()
+        failures = []
+
+        def writer(tid):
+            i = 0
+            try:
+                while not stop.is_set():
+                    tracer.event("w", tid=tid, i=i)
+                    i += 1
+            except Exception as exc:  # pragma: no cover - regression
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(300):
+                events = tracer.events()
+                # every snapshot is internally consistent
+                for event in events:
+                    assert event.name == "w"
+                    assert set(event.data) == {"tid", "i"}
+                tracer.clear()
+                len(tracer)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert failures == []
+
+    def test_per_thread_events_stay_in_order_in_snapshots(self):
+        tracer = Tracer(capacity=2048)
+        done = threading.Event()
+
+        def writer():
+            for i in range(500):
+                tracer.event("w", i=i)
+            done.set()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        while not done.is_set():
+            events = tracer.events()
+            seen = [e.data["i"] for e in events if e.name == "w"]
+            assert seen == sorted(seen)
+        t.join()
