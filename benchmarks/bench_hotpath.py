@@ -134,7 +134,7 @@ def run_wall(shards: int) -> float:
     return metrics.ops_per_sec
 
 
-def test_leaf_hints_save_descents(benchmark, emit):
+def test_leaf_hints_save_descents(benchmark, emit, emit_json):
     results: dict[bool, dict] = {}
 
     def run():
@@ -144,6 +144,18 @@ def test_leaf_hints_save_descents(benchmark, emit):
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     off, on = results[False], results[True]
+    emit_json(
+        "hotpath",
+        {
+            "leaf_hints": {
+                "tree_height": on["height"],
+                "fixes_per_insert_off": round(off["fixes_per_insert"], 3),
+                "fixes_per_insert_on": round(on["fixes_per_insert"], 3),
+                "hint_hits": on["hint_hits"],
+                "descents_saved": on["descents_saved"],
+            }
+        },
+    )
     rows = [
         {
             "leaf_hints": label,
@@ -316,7 +328,7 @@ def test_protocol_checks_dormant_on_hot_path(benchmark, emit, monkeypatch):
     assert root_latch.witness is None
 
 
-def test_sharded_pool_wall_clock(benchmark, emit):
+def test_sharded_pool_wall_clock(benchmark, emit, emit_json):
     """Context only — throughput of the mixed threaded workload under
     1 shard vs 8.  No tight gate (wall clock is noisy here); the
     deterministic properties above are the contract."""
@@ -328,6 +340,15 @@ def test_sharded_pool_wall_clock(benchmark, emit):
             results[shards] = run_wall(shards)
 
     benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_json(
+        "hotpath",
+        {
+            "wall_clock": {
+                f"ops_per_sec_shards_{s}": round(v, 1)
+                for s, v in sorted(results.items())
+            }
+        },
+    )
     emit(
         f"HOTPATH — mixed workload throughput, {WALL_THREADS} threads "
         f"(report; wall clock)",

@@ -7,6 +7,7 @@ capture; the pytest-benchmark timing summary complements them.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -14,6 +15,7 @@ import pytest
 from repro.harness.report import render_table
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+BENCH_DIR = pathlib.Path(__file__).parent
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -35,3 +37,29 @@ def emit(capsys):
             fh.write(text + "\n\n")
 
     return _emit
+
+
+@pytest.fixture
+def emit_json():
+    """Merge a machine-readable payload into ``BENCH_<name>.json``.
+
+    Each benchmark module owns one JSON artifact; tests merge their
+    section into it key by key, so a partial run updates only its own
+    sections.  Keys are sorted and the file ends with a newline so the
+    committed artifacts diff cleanly.
+    """
+
+    def _emit_json(name: str, payload: dict) -> None:
+        path = BENCH_DIR / f"BENCH_{name}.json"
+        data: dict = {}
+        if path.exists():
+            try:
+                data = json.loads(path.read_text())
+            except json.JSONDecodeError:
+                data = {}
+        data.update(payload)
+        path.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
+
+    return _emit_json

@@ -47,6 +47,7 @@ from repro.wal.records import (
     MarkLeafEntryRecord,
     PageImageClr,
     RightlinkUpdateRecord,
+    RootReplaceRecord,
     RootSplitRecord,
     SplitRecord,
     TreeCreateRecord,
@@ -70,6 +71,18 @@ class Database:
     lock_timeout:
         Backstop lock-wait timeout (deadlocks are detected eagerly; the
         timeout only catches bugs).
+    wal_writer:
+        ``True`` runs a dedicated WAL writer thread: committers enqueue
+        their flush target and park on a condition while the writer
+        coalesces requests into group commits, lingering up to the
+        group-commit window for stragglers (``wal.writer.*`` gauges).
+        Off by default — flushes then force inline with the original
+        leader/rider group commit.
+    group_commit_window:
+        Writer linger window in seconds: ``None`` (default) adapts to
+        the observed commit arrival rate, ``0.0`` forces as soon as the
+        queue is non-empty, a positive value is a fixed window.  Only
+        meaningful with ``wal_writer=True``.
     store, log:
         Supply existing instances to reopen a database after a crash
         (normally via :meth:`restart`).
@@ -126,6 +139,8 @@ class Database:
         pool_capacity: int = 4096,
         lock_timeout: float | None = 30.0,
         flush_delay: float = 0.0,
+        wal_writer: bool = False,
+        group_commit_window: float | None = None,
         hooks: Hooks | None = None,
         store: PageStore | None = None,
         log: LogManager | None = None,
@@ -186,6 +201,16 @@ class Database:
         # The log survives restarts: always (re)assign the tracker so a
         # restart without op_tracing drops the stale one.
         self.log.tracker = self.spans
+        #: dedicated WAL writer thread + its group-commit window; both
+        #: are (re)applied to an adopted log so a restart with the knob
+        #: toggled never keeps a stale writer running
+        self.wal_writer = wal_writer
+        self.group_commit_window = group_commit_window
+        self.log.group_commit_window = group_commit_window
+        if wal_writer:
+            self.log.start_wal_writer()
+        else:
+            self.log.stop_wal_writer()
         self.pool = BufferPool(
             self.store,
             capacity=pool_capacity,
@@ -327,6 +352,53 @@ class Database:
         if self.flightrec is not None:
             self.flightrec.record("txn.abort", xid=txn.xid)
 
+    def commit_many(self, txns: "list[Transaction]") -> None:
+        """Commit a batch of transactions under one shared log force."""
+        spans = self.spans
+        span = spans.begin("commit_many") if spans is not None else None
+        try:
+            self.txns.commit_many(txns)
+        finally:
+            if spans is not None:
+                spans.finish(span)
+        if self.flightrec is not None:
+            for txn in txns:
+                self.flightrec.record("txn.commit", xid=txn.xid)
+
+    # ------------------------------------------------------------------
+    # batched operations (thin tree dispatch)
+    # ------------------------------------------------------------------
+    def _tree_of(self, tree: "GiST | str") -> GiST:
+        return tree if isinstance(tree, GiST) else self.tree(tree)
+
+    def multi_put(
+        self, txn: Transaction, tree: "GiST | str", pairs
+    ) -> int:
+        """Batched insert of ``(key, rid)`` pairs into ``tree``.
+
+        Sorts the batch and shares one descent per leaf run; see
+        :meth:`repro.gist.tree.GiST.multi_put`.
+        """
+        return self._tree_of(tree).multi_put(txn, pairs)
+
+    def multi_get(self, txn: Transaction, tree: "GiST | str", keys) -> dict:
+        """Batched point lookup; see :meth:`repro.gist.tree.GiST.multi_get`."""
+        return self._tree_of(tree).multi_get(txn, keys)
+
+    def multi_delete(
+        self, txn: Transaction, tree: "GiST | str", pairs
+    ) -> int:
+        """Batched delete of ``(key, rid)`` pairs; see
+        :meth:`repro.gist.tree.GiST.multi_delete`."""
+        return self._tree_of(tree).multi_delete(txn, pairs)
+
+    def bulk_load(
+        self, txn: Transaction, tree: "GiST | str", pairs, *, fill=0.75
+    ) -> int:
+        """Bottom-up bulk load of an empty tree; see
+        :meth:`repro.gist.tree.GiST.bulk_load`."""
+        return self._tree_of(tree).bulk_load(txn, pairs, fill=fill)
+
     # duck-typed predicate registry for the transaction manager
     def release_transaction(self, xid: int) -> None:
         """Drop the transaction's predicates in every tree (txn-manager hook)."""
@@ -371,6 +443,10 @@ class Database:
             self.flightrec.record(
                 "db.crash", flushed_lsn=self.log.flushed_lsn
             )
+        # The writer thread dies with the process: abandon pending flush
+        # requests (parked committers fall back inline) before the
+        # unflushed tail is discarded.
+        self.log.stop_wal_writer(drain=False)
         self.log.crash()
         self.pool.crash()
         if self.fault_plan is not None:
@@ -409,6 +485,8 @@ class Database:
         config.setdefault("metrics_enabled", self.metrics.enabled)
         config.setdefault("pool_shards", self.pool_shards)
         config.setdefault("leaf_hints", self.leaf_hints)
+        config.setdefault("wal_writer", self.wal_writer)
+        config.setdefault("group_commit_window", self.group_commit_window)
         config.setdefault("io_retries", self.io_retries)
         config.setdefault("io_retry_backoff", self.io_retry_backoff)
         config.setdefault("protocol_checks", self.protocol_checks)
@@ -497,6 +575,25 @@ class Database:
                 clr.undo_next = record.prev_lsn
                 lsn = self.log.append(clr)
                 frame.mark_dirty(lsn)
+        elif isinstance(record, RootReplaceRecord):
+            # Bulk-load root attach: restore the pre-attach root image
+            # so the subsequent GetPageRecord undos (lower LSNs in the
+            # same backward sweep) free pages the root no longer
+            # references.
+            with self.pool.fixed(record.page_id, LatchMode.X) as frame:
+                record.undo_page(frame.page)
+                clr = PageImageClr(
+                    xid=xid,
+                    page_id=record.page_id,
+                    image=frame.page.snapshot(),
+                )
+                clr.undo_next = record.prev_lsn
+                lsn = self.log.append(clr)
+                frame.mark_dirty(lsn)
+            for tree in self.trees.values():
+                if tree.root_pid == record.page_id:
+                    tree.bump_hint_epoch()
+                    tree.bump_bp_epoch()
         elif isinstance(record, InternalEntryAddRecord):
             clr = InternalEntryDeleteRecord(
                 xid=xid,
@@ -600,3 +697,4 @@ class Database:
         self.checkpoint()
         self.pool.flush_all()
         self.log.flush()
+        self.log.stop_wal_writer(drain=True)

@@ -13,6 +13,7 @@ objects (range queries).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -81,6 +82,44 @@ class Interval:
         return Interval(value, value)
 
 
+@dataclass(frozen=True)
+class MultiPoint:
+    """An ``IN (k1, k2, …)`` predicate: the union of point queries.
+
+    Produced by :meth:`BTreeExtension.multi_eq_query` so batched point
+    operations (``multi_get`` / ``multi_delete``) can share one descent:
+    ``consistent`` against an interval holds when *any* member falls
+    inside it, so a single cursor visits exactly the union of leaves the
+    individual point queries would have visited.  ``keys`` is sorted and
+    duplicate-free (build via :meth:`of`).
+    """
+
+    keys: tuple
+
+    def contains(self, value: object) -> bool:
+        """Membership test (also the history oracle's ``covers``)."""
+        i = bisect_left(self.keys, value)
+        return i < len(self.keys) and self.keys[i] == value
+
+    def intersects(self, interval: Interval) -> bool:
+        """Whether any member key lies inside ``interval``."""
+        keys = self.keys
+        i = bisect_left(keys, interval.lo)
+        while i < len(keys):
+            key = keys[i]
+            if key > interval.hi:
+                return False
+            if interval.contains(key):
+                return True
+            i += 1  # key == an open bound: try the next member
+        return False
+
+    @staticmethod
+    def of(keys: Sequence[object]) -> "MultiPoint":
+        """Canonical instance: sorted, deduplicated."""
+        return MultiPoint(tuple(sorted(set(keys))))
+
+
 def as_interval(pred: object) -> Interval:
     """Normalize a key value or interval to an :class:`Interval`."""
     if isinstance(pred, Interval):
@@ -95,6 +134,10 @@ class BTreeExtension(GiSTExtension):
 
     def consistent(self, pred: object, query: object) -> bool:
         """Intersection test between predicates (contract: :meth:`GiSTExtension.consistent`)."""
+        if isinstance(query, MultiPoint):
+            return query.intersects(as_interval(pred))
+        if isinstance(pred, MultiPoint):
+            return pred.intersects(as_interval(query))
         return as_interval(pred).intersects(as_interval(query))
 
     def union(self, preds: Sequence[object]) -> object:
@@ -141,6 +184,11 @@ class BTreeExtension(GiSTExtension):
     def eq_query(self, key: object) -> object:
         """Exact-match predicate for a key (contract: :meth:`GiSTExtension.eq_query`)."""
         return as_interval(key)
+
+    def multi_eq_query(self, keys: Sequence[object]) -> object:
+        """Multi-point predicate for a key batch (contract:
+        :meth:`GiSTExtension.multi_eq_query`)."""
+        return MultiPoint.of(keys)
 
     def hint_point_query(self, query: object) -> bool:
         """Point intervals and scalar keys may replay a hinted leaf."""

@@ -106,6 +106,18 @@ class GiSTExtension(ABC):
         entry order within a node."""
         return None
 
+    def multi_eq_query(self, keys: Sequence[object]) -> object | None:
+        """A predicate satisfied by exactly the listed keys, or ``None``.
+
+        Batched point operations (``multi_get`` / ``multi_delete``) use
+        it to answer a whole sorted batch with a single descent: the
+        returned object must work anywhere a query does (``consistent``
+        against both stored keys and bounding predicates).  The
+        conservative default returns ``None`` — batch ops then degrade
+        to one point operation per key, which is always correct.
+        """
+        return None
+
     def compress(self, pred: object) -> object:
         """Optional on-page key compression (identity by default)."""
         return pred

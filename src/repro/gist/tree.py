@@ -67,7 +67,9 @@ from repro.wal.records import (
     InternalEntryAddRecord,
     InternalEntryUpdateRecord,
     MarkLeafEntryRecord,
+    PageImageClr,
     RemoveLeafEntryClr,
+    RootReplaceRecord,
     RootSplitRecord,
     SplitRecord,
     UnmarkLeafEntryClr,
@@ -105,6 +107,12 @@ class TreeStats:
         "hint_hits",
         "hint_misses",
         "hint_descents_saved",
+        "batch_ops",
+        "batch_keys",
+        "batch_leaf_runs",
+        "batch_descents_saved",
+        "bulk_loads",
+        "bulk_pages_built",
     )
 
     #: registry names diverging from the plain ``gist.<field>`` scheme
@@ -575,6 +583,722 @@ class GiST:
             self.metrics.tracer.record_span(
                 "gist.delete", dur, tree=self.name
             )
+
+    # ------------------------------------------------------------------
+    # batched operations (multi_get / multi_put / multi_delete)
+    # ------------------------------------------------------------------
+    def _organize_pairs(
+        self, pairs: "Sequence[tuple]"
+    ) -> tuple[list[tuple], bool]:
+        """Normalize keys and sort the batch with the ``organize`` hook.
+
+        Returns ``(pairs, organized)``: the flag records whether the
+        extension actually imposed an order — consecutive pairs of an
+        organized batch are close in the key domain, which licenses the
+        greedy leaf-run extension in :meth:`_multi_put_located`.
+        """
+        pairs = [
+            (self.ext.normalize_key(key), rid) for key, rid in pairs
+        ]
+        order = self.ext.organize([key for key, _ in pairs])
+        if order is not None:
+            pairs = [pairs[i] for i in order]
+        return pairs, order is not None
+
+    def multi_put(self, txn: Transaction, pairs: "Sequence[tuple]") -> int:
+        """Batched insert: one descent per *leaf run* of the sorted batch.
+
+        The batch is sorted with the extension's ``organize`` hook, then
+        consumed run by run: each run locates its head's target leaf
+        once (through the leaf-hint cache when enabled) and appends
+        every subsequent pair the leaf can absorb — key covered by the
+        leaf's BP, a free slot remaining — emitting the leaf's WAL
+        records through the batched log path.  Locking is identical to
+        ``len(pairs)`` point inserts: every RID is X-locked and every
+        insert predicate registered *before* the tree is touched, the
+        target leaf's signaling lock is pinned to end of transaction,
+        and each pair checks the search predicates queued ahead of it.
+        Unique trees fall back to the per-key protocol (section 8's
+        duplicate defence is inherently per-key).  Returns the count.
+        """
+        txn.require_active()
+        pairs, organized = self._organize_pairs(pairs)
+        if not pairs:
+            return 0
+        if self.unique:
+            for key, rid in pairs:
+                self.insert(txn, key, rid)
+            return len(pairs)
+        spans = self.db.spans
+        span = (
+            spans.begin("multi_put", self.name)
+            if spans is not None
+            else None
+        )
+        timed = self.metrics.enabled
+        t0 = perf_counter_ns() if timed else 0
+        plocks: list[PredicateLock] = []
+        try:
+            # Phase 1 for the whole batch: X-lock every data record and
+            # register every insert predicate before touching the tree.
+            for key, rid in pairs:
+                self.db.locks.acquire(
+                    txn.xid, self.rid_lock(rid), LockMode.X
+                )
+                plocks.append(
+                    self.predicates.register(
+                        txn.xid,
+                        self.ext.eq_query(key),
+                        PredicateKind.INSERT,
+                    )
+                )
+            with self._fault_cleanup():
+                self._multi_put_located(txn, pairs, plocks, organized)
+        finally:
+            for plock in plocks:
+                self.predicates.unregister(plock)
+            if spans is not None:
+                spans.finish(span)
+        self.stats.bump("inserts", len(pairs))
+        self.stats.bump("batch_ops")
+        self.stats.bump("batch_keys", len(pairs))
+        if timed:
+            dur = perf_counter_ns() - t0
+            self._h_insert_ns.record(dur)
+            self.metrics.tracer.record_span(
+                "gist.multi_put", dur, tree=self.name, keys=len(pairs)
+            )
+        return len(pairs)
+
+    def _multi_put_located(
+        self,
+        txn: Transaction,
+        pairs: list[tuple],
+        plocks: list[PredicateLock],
+        organized: bool,
+    ) -> None:
+        """Consume the sorted batch one leaf run at a time.
+
+        With an ``organized`` batch the run is extended greedily over
+        consecutive pairs up to the leaf's free slots — BP coverage is
+        an invariant maintained by expansion (:meth:`_update_bp`), not
+        a placement requirement, and consecutive organized keys are
+        close so one expansion covers the whole run (a B-tree append
+        batch expands the rightmost leaf exactly as point inserts
+        would).  Unorganized batches only extend runs over keys the
+        leaf's BP already covers.
+        """
+        pool = self.db.pool
+        i, n = 0, len(pairs)
+        while i < n:
+            key, rid = pairs[i]
+            frame, stack = self._locate_leaf(txn, key)
+            conflicts: list = []
+            run = [(key, rid)]
+            try:
+                if frame.page.is_full:
+                    self._gc_leaf(txn, frame)
+                if frame.page.is_full:
+                    self.db.hooks.fire(
+                        "insert:before-split", pid=frame.page.pid
+                    )
+                    frame = self._split_atomic(
+                        txn, frame, stack, key_hint=key
+                    )
+                page = frame.page
+                # The run's leaf keeps its signaling lock to end of
+                # transaction (section 7.2 / 9), like any insert target.
+                leaf_name = self.node_lock(page.pid)
+                if self.db.locks.held_mode(txn.xid, leaf_name) is None:
+                    self.db.locks.acquire(txn.xid, leaf_name, LockMode.S)
+                    txn.note_signaling(leaf_name)
+                txn.pin_signaling_to_eot(leaf_name)
+                # Extend the run: subsequent pairs the leaf can absorb
+                # without a split (and, for unorganized batches,
+                # without a BP expansion).
+                free = page.capacity - len(page.entries)
+                while (
+                    i + len(run) < n
+                    and len(run) < free
+                    and (
+                        organized
+                        or self.ext.covers(
+                            page.bp, pairs[i + len(run)][0]
+                        )
+                    )
+                ):
+                    run.append(pairs[i + len(run)])
+                # One BP expansion up the tree covers the whole run.
+                if page.bp is not None and any(
+                    not self.ext.covers(page.bp, k) for k, _ in run
+                ):
+                    self._update_bp(
+                        txn,
+                        frame,
+                        self.ext.union(
+                            [page.bp] + [k for k, _ in run]
+                        ),
+                        stack,
+                    )
+                records = [
+                    AddLeafEntryRecord(
+                        xid=txn.xid,
+                        tree=self.name,
+                        page_id=page.pid,
+                        nsn=page.nsn,
+                        key=k,
+                        rid=r,
+                    )
+                    for k, r in run
+                ]
+                lsns = self.db.log.append_many(records)
+                for record in records:
+                    record.redo_page(page)
+                frame.mark_dirty(lsns[-1])
+                self._remember_insert_hint(frame)
+                # Phase 6 per pair: attach its insert predicate, collect
+                # the search predicates queued ahead of it (FIFO).
+                for offset, (k, _) in enumerate(run):
+                    plock = plocks[i + offset]
+                    self.predicates.attach(plock, page.pid)
+                    conflicts.extend(
+                        self.predicates.conflicting(
+                            page.pid,
+                            k,
+                            kinds=(PredicateKind.SEARCH,),
+                            exclude_owner=txn.xid,
+                            before=plock,
+                        )
+                    )
+                pid = page.pid
+            finally:
+                if frame.latch.held_by_me() is not None:
+                    pool.unfix(frame)
+                self._release_path_signaling(txn, stack)
+            self.stats.bump("batch_leaf_runs")
+            if len(run) > 1:
+                self.stats.bump("batch_descents_saved", len(run) - 1)
+            self.db.hooks.fire(
+                "multi_put:run", pid=pid, count=len(run)
+            )
+            if conflicts:
+                self.stats.bump("predicate_blocks")
+                PredicateManager.wait_for_owners(
+                    self.db.locks, txn.xid, conflicts
+                )
+            i += len(run)
+
+    def multi_get(
+        self, txn: Transaction, keys: "Sequence[object]"
+    ) -> dict:
+        """Batched point lookup: rids for each key, one shared descent.
+
+        Returns ``{normalized key: [rids]}`` for every requested key
+        (missing keys map to an empty list).  When the extension can
+        express a multi-point predicate (:meth:`~repro.gist.extension.
+        GiSTExtension.multi_eq_query`), the whole sorted batch is
+        answered by a single cursor descent under one phantom-protected
+        predicate — locking and isolation are exactly those of a
+        :meth:`search` with that predicate.  Otherwise it degrades to
+        one point search per distinct key.
+        """
+        results: dict = {
+            self.ext.normalize_key(key): [] for key in keys
+        }
+        if not results:
+            return results
+        distinct = list(results)
+        order = self.ext.organize(distinct)
+        if order is not None:
+            distinct = [distinct[i] for i in order]
+        query = self.ext.multi_eq_query(distinct)
+        if query is None:
+            for key in distinct:
+                for _, rid in self.search(txn, self.ext.eq_query(key)):
+                    results[key].append(rid)
+            return results
+        self.stats.bump("batch_ops")
+        self.stats.bump("batch_keys", len(distinct))
+        if len(distinct) > 1:
+            self.stats.bump("batch_descents_saved", len(distinct) - 1)
+        for found_key, rid in self.search(txn, query):
+            bucket = results.get(found_key)
+            if bucket is not None:
+                bucket.append(rid)
+            else:
+                # key types whose equality is not hash equality: route
+                # through the extension's consistency test instead
+                for key in distinct:
+                    if self.ext.consistent(
+                        found_key, self.ext.eq_query(key)
+                    ):
+                        results[key].append(rid)
+        return results
+
+    def multi_delete(
+        self, txn: Transaction, pairs: "Sequence[tuple]"
+    ) -> int:
+        """Batched logical delete of ``(key, rid)`` pairs.
+
+        X-locks every target RID up front, then marks all entries in
+        one multi-point traversal (one descent visiting exactly the
+        leaves the batch touches, batched WAL emission per leaf).
+        Raises :class:`KeyNotFoundError` if any pair is absent — after
+        marking everything that was found, mirroring a partially
+        executed loop of :meth:`delete` calls.  Extensions without
+        ``multi_eq_query`` degrade to the per-pair protocol.
+        """
+        txn.require_active()
+        pairs, _ = self._organize_pairs(pairs)
+        if not pairs:
+            return 0
+        spans = self.db.spans
+        span = (
+            spans.begin("multi_delete", self.name)
+            if spans is not None
+            else None
+        )
+        timed = self.metrics.enabled
+        t0 = perf_counter_ns() if timed else 0
+        try:
+            query = self.ext.multi_eq_query([key for key, _ in pairs])
+            if query is None:
+                for key, rid in pairs:
+                    self.delete(txn, key, rid)
+                return len(pairs)
+            for key, rid in pairs:
+                self.db.locks.acquire(
+                    txn.xid, self.rid_lock(rid), LockMode.X
+                )
+            targets = set(pairs)
+            with self._fault_cleanup():
+                found = self._mark_deleted_batch(txn, query, targets)
+            missing = targets - found
+            if missing:
+                key, rid = min(missing, key=repr)
+                raise KeyNotFoundError(
+                    f"({key!r}, {rid!r}) not found in tree {self.name!r}"
+                )
+        finally:
+            if spans is not None:
+                spans.finish(span)
+        self.stats.bump("deletes", len(pairs))
+        self.stats.bump("batch_ops")
+        self.stats.bump("batch_keys", len(pairs))
+        if len(pairs) > 1:
+            self.stats.bump("batch_descents_saved", len(pairs) - 1)
+        if timed:
+            dur = perf_counter_ns() - t0
+            self._h_delete_ns.record(dur)
+            self.metrics.tracer.record_span(
+                "gist.multi_delete", dur, tree=self.name, keys=len(pairs)
+            )
+        return len(pairs)
+
+    def _mark_deleted_batch(
+        self, txn: Transaction, query: object, targets: set
+    ) -> set:
+        """Mark every targeted ``(key, rid)`` found under ``query``.
+
+        The multi-point analogue of ``_mark_deleted``: one traversal,
+        marking all of a leaf's targeted entries with a single batched
+        WAL append.  Returns the set of pairs actually marked.
+        """
+        memo = self.nsn.current()
+        stack = [self._stack_pointer(txn, self.root_pid, memo)]
+        found: set = set()
+        try:
+            while stack and len(found) < len(targets):
+                entry = stack.pop()
+                self._mark_visit_batch(txn, entry, query, targets, found, stack)
+                self._release_signaling(txn, entry.pid)
+        finally:
+            # Drain: release signaling locks of unvisited pointers.
+            for entry in stack:
+                self._release_signaling(txn, entry.pid)
+        return found
+
+    def _mark_visit_batch(
+        self,
+        txn: Transaction,
+        entry: StackEntry,
+        query: object,
+        targets: set,
+        found: set,
+        stack: list[StackEntry],
+    ) -> None:
+        pool, log = self.db.pool, self.db.log
+        pid = entry.pid
+        last_handled = entry.memo
+        # Peek at the node level with an S latch; leaves need X.
+        frame = pool.fix(pid, LatchMode.S)
+        try:
+            if frame.page.is_leaf:
+                # Trade the S latch for X; the unlatched window is
+                # compensated by the NSN check below (see _mark_visit).
+                pool.unfix(frame)
+                frame = None
+                frame = pool.fix(pid, LatchMode.X)
+            page = frame.page
+            if page.nsn > last_handled and page.rightlink != NO_PAGE:
+                self.stats.bump("rightlink_follows")
+                self.stats.bump("nsn_restarts")
+                self.metrics.tracer.event(
+                    "gist.restart.nsn_mismatch",
+                    tree=self.name,
+                    pid=page.pid,
+                    memo=last_handled,
+                    nsn=page.nsn,
+                )
+                stack.append(StackEntry(page.rightlink, last_handled))
+            if page.is_leaf:
+                victims = [
+                    e
+                    for e in page.entries
+                    if not e.deleted
+                    and (e.key, e.rid) in targets
+                    and (e.key, e.rid) not in found
+                ]
+                if not victims:
+                    return
+                records = [
+                    MarkLeafEntryRecord(
+                        xid=txn.xid,
+                        tree=self.name,
+                        page_id=page.pid,
+                        nsn=page.nsn,
+                        key=e.key,
+                        rid=e.rid,
+                    )
+                    for e in victims
+                ]
+                lsns = log.append_many(records)
+                for record in records:
+                    record.redo_page(page)
+                frame.mark_dirty(lsns[-1])
+                for e in victims:
+                    found.add((e.key, e.rid))
+                    self.db.hooks.fire(
+                        "delete:marked", pid=page.pid, rid=e.rid
+                    )
+                return
+            child_memo = self.nsn.memo_for_children(page)
+            for node_entry in page.entries:
+                if self.ext.consistent(node_entry.pred, query):
+                    stack.append(
+                        self._stack_pointer(
+                            txn, node_entry.child, child_memo
+                        )
+                    )
+        finally:
+            if frame is not None:
+                pool.unfix(frame)
+
+    # ------------------------------------------------------------------
+    # bottom-up bulk load
+    # ------------------------------------------------------------------
+    def bulk_load(
+        self,
+        txn: Transaction,
+        pairs: "Sequence[tuple]",
+        *,
+        fill: float = 0.75,
+    ) -> int:
+        """Build the tree bottom-up from a sorted batch (empty tree only).
+
+        The structure — empty leaves at ``fill`` fraction of capacity,
+        internal levels above them, and the root attach — is built in
+        **one nested top action** while the root's X latch is held: a
+        crash at any point either rolls the whole structure back (the
+        undoable :class:`~repro.wal.records.RootReplaceRecord` restores
+        the old root image before the Get-Page undos free the child
+        pages) or, after the NTA committed, leaves a legal tree of empty
+        leaves.  The entries themselves are then filled in
+        transactionally per leaf through the batched log path, so a
+        rollback of ``txn`` after the load logically deletes every
+        entry but keeps the (empty) structure — exactly like any
+        completed SMO.  Locking matches :meth:`multi_put`: all RIDs are
+        X-locked and all insert predicates registered up front, and
+        search predicates attached to the old root replicate to every
+        built page.  When the tree is not an empty leaf (or the batch
+        fits in the root) this degrades to the :meth:`multi_put` run
+        protocol.  Returns the number of entries loaded.
+        """
+        if not 0.0 < fill <= 1.0:
+            raise ValueError(f"fill factor {fill!r} outside (0, 1]")
+        txn.require_active()
+        pairs, organized = self._organize_pairs(pairs)
+        if not pairs:
+            return 0
+        if self.unique:
+            seen_keys: set = set()
+            for key, _ in pairs:
+                if key in seen_keys:
+                    raise UniqueViolationError(key)
+                seen_keys.add(key)
+        spans = self.db.spans
+        span = (
+            spans.begin("bulk_load", self.name)
+            if spans is not None
+            else None
+        )
+        timed = self.metrics.enabled
+        t0 = perf_counter_ns() if timed else 0
+        plocks: list[PredicateLock] = []
+        try:
+            for key, rid in pairs:
+                self.db.locks.acquire(
+                    txn.xid, self.rid_lock(rid), LockMode.X
+                )
+                plocks.append(
+                    self.predicates.register(
+                        txn.xid,
+                        self.ext.eq_query(key),
+                        PredicateKind.INSERT,
+                    )
+                )
+            with self._fault_cleanup():
+                loaded = self._bulk_load_located(txn, pairs, plocks, fill)
+                if not loaded:
+                    if self.unique:
+                        # The tree has prior content: the in-batch
+                        # duplicate check above is not enough, run the
+                        # full per-key duplicate protocol.
+                        for i, (key, rid) in enumerate(pairs):
+                            self.predicates.unregister(plocks[i])
+                            plocks[i] = None  # type: ignore[call-overload]
+                            self._insert_unique(txn, key, rid)
+                    else:
+                        self._multi_put_located(
+                            txn, pairs, plocks, organized
+                        )
+        finally:
+            for plock in plocks:
+                if plock is not None:
+                    self.predicates.unregister(plock)
+            if spans is not None:
+                spans.finish(span)
+        self.stats.bump("inserts", len(pairs))
+        self.stats.bump("batch_ops")
+        self.stats.bump("batch_keys", len(pairs))
+        if timed:
+            dur = perf_counter_ns() - t0
+            self._h_insert_ns.record(dur)
+            self.metrics.tracer.record_span(
+                "gist.bulk_load", dur, tree=self.name, keys=len(pairs)
+            )
+        return len(pairs)
+
+    def _bulk_load_located(
+        self,
+        txn: Transaction,
+        pairs: list[tuple],
+        plocks: list[PredicateLock],
+        fill: float,
+    ) -> bool:
+        """Build structure + fill leaves; False if the fast path is off.
+
+        Returns ``False`` without touching the tree when the root is
+        not an empty leaf or the batch fits in it — the caller then
+        falls back to the run-based insert protocol.
+        """
+        pool, log = self.db.pool, self.db.log
+        unfixed = False
+        filled_leaves: list[tuple[PageId, list[tuple]]] = []
+        root_frame = pool.fix(self.root_pid, LatchMode.X)
+        try:
+            root = root_frame.page
+            if not root.is_leaf or root.entries:
+                return False
+            capacity = root.capacity
+            per_leaf = max(2, min(capacity, int(capacity * fill)))
+            if len(pairs) <= capacity:
+                return False  # a single leaf suffices; no structure to build
+            old_image = root.snapshot()
+
+            # The whole structure is one atomic action (section 9.1).
+            # Everything below is pure in-memory page building — the
+            # only waits are log appends, which are legal under latches.
+            saved = log.begin_nta(txn.xid)
+            chunks = [
+                pairs[i : i + per_leaf]
+                for i in range(0, len(pairs), per_leaf)
+            ]
+            built: list[tuple[PageId, object]] = []
+            level_nodes: list[tuple[PageId, object]] = []
+            for chunk in chunks:
+                bp = self.ext.union([key for key, _ in chunk])
+                pid = self._bulk_build_page(
+                    txn, PageKind.LEAF, 0, bp, [], capacity
+                )
+                built.append((pid, bp))
+                level_nodes.append((pid, bp))
+                filled_leaves.append((pid, chunk))
+            level = 1
+            while len(level_nodes) > capacity:
+                parents: list[tuple[PageId, object]] = []
+                for i in range(0, len(level_nodes), per_leaf):
+                    group = level_nodes[i : i + per_leaf]
+                    entries = [
+                        InternalEntry(pred=bp, child=pid)
+                        for pid, bp in group
+                    ]
+                    bp = self.ext.union([bp for _, bp in group])
+                    pid = self._bulk_build_page(
+                        txn, PageKind.INTERNAL, level, bp, entries, capacity
+                    )
+                    built.append((pid, bp))
+                    parents.append((pid, bp))
+                level_nodes = parents
+                level += 1
+
+            # Attach: swap the empty root leaf's image for an internal
+            # node over the top level.  Root pid (and its BP: the whole
+            # space) stay stable, so no descent ever sees a moved root.
+            new_image = Page(
+                pid=root.pid,
+                kind=PageKind.INTERNAL,
+                level=level,
+                nsn=root.nsn,
+                capacity=capacity,
+                entries=[
+                    InternalEntry(pred=bp, child=pid)
+                    for pid, bp in level_nodes
+                ],
+            )
+            record = RootReplaceRecord(
+                xid=txn.xid,
+                page_id=root.pid,
+                new_image=new_image,
+                old_image=old_image,
+            )
+            lsn = log.append(record)
+            record.redo_page(root)
+            root_frame.mark_dirty(lsn)
+            # Inside the atomic action, after the attach: a crash hook
+            # here exercises the RootReplaceRecord undo path.
+            self.db.hooks.fire("bulk:attached", pid=root.pid)
+            log.end_nta(txn.xid, saved)
+            self.db.hooks.fire(
+                "bulk:structure-built",
+                pid=root.pid,
+                pages=len(built),
+                levels=level,
+            )
+            # Search predicates attached to the root-as-leaf must reach
+            # every page of the new structure they are consistent with
+            # (the attachment invariant) — same rule as a split.
+            for pid, bp in built:
+                self.predicates.replicate_for_split(root.pid, pid, bp)
+            self.stats.bump("bulk_loads")
+            self.metrics.tracer.event(
+                "gist.bulk_load",
+                tree=self.name,
+                pages=len(built),
+                levels=level,
+                keys=len(pairs),
+            )
+            # The root stopped being a leaf: cached leaf hints and BP
+            # memos anchored at it are stale.
+            self.bump_hint_epoch()
+            self.bump_bp_epoch()
+            pool.unfix(root_frame)
+            unfixed = True
+        finally:
+            if not unfixed and root_frame.latch.held_by_me() is not None:
+                pool.unfix(root_frame)
+
+        # Fill phase: transactional content, one batched append per leaf.
+        conflicts: list = []
+        offset = 0
+        for pid, chunk in filled_leaves:
+            frame = pool.fix(pid, LatchMode.X)
+            try:
+                page = frame.page
+                leaf_name = self.node_lock(page.pid)
+                if self.db.locks.held_mode(txn.xid, leaf_name) is None:
+                    # A freshly built page cannot have a queued X waiter
+                    # (drain deleters only probe no-wait), so this never
+                    # blocks under the latch.
+                    self.db.locks.acquire(
+                        txn.xid, leaf_name, LockMode.S
+                    )  # lint: allow(lock-wait-under-latch): never waits
+                    txn.note_signaling(leaf_name)
+                txn.pin_signaling_to_eot(leaf_name)
+                records = [
+                    AddLeafEntryRecord(
+                        xid=txn.xid,
+                        tree=self.name,
+                        page_id=page.pid,
+                        nsn=page.nsn,
+                        key=k,
+                        rid=r,
+                    )
+                    for k, r in chunk
+                ]
+                lsns = log.append_many(records)
+                for rec in records:
+                    rec.redo_page(page)
+                frame.mark_dirty(lsns[-1])
+                for j, (k, _) in enumerate(chunk):
+                    plock = plocks[offset + j]
+                    self.predicates.attach(plock, page.pid)
+                    conflicts.extend(
+                        self.predicates.conflicting(
+                            page.pid,
+                            k,
+                            kinds=(PredicateKind.SEARCH,),
+                            exclude_owner=txn.xid,
+                            before=plock,
+                        )
+                    )
+            finally:
+                pool.unfix(frame)
+            self.db.hooks.fire(
+                "bulk:leaf-filled", pid=pid, count=len(chunk)
+            )
+            offset += len(chunk)
+        if conflicts:
+            self.stats.bump("predicate_blocks")
+            PredicateManager.wait_for_owners(
+                self.db.locks, txn.xid, conflicts
+            )
+        return True
+
+    def _bulk_build_page(
+        self,
+        txn: Transaction,
+        kind: PageKind,
+        level: int,
+        bp: object,
+        entries: list,
+        capacity: int,
+    ) -> PageId:
+        """Allocate, log and install one bulk-built page; returns its id.
+
+        Logged as Get-Page (undoable: rollback of the enclosing NTA
+        frees the page) plus a redo-only full image, the same shape the
+        other structure modifications use.
+        """
+        pool, log, store = self.db.pool, self.db.log, self.db.store
+        pid = store.allocate()
+        log.append(GetPageRecord(xid=txn.xid, page_id=pid))
+        page = Page(
+            pid=pid,
+            kind=kind,
+            level=level,
+            capacity=capacity,
+            bp=bp,
+            entries=entries,
+        )
+        record = PageImageClr(
+            xid=txn.xid, page_id=pid, image=page.snapshot()
+        )
+        lsn = log.append(record)
+        frame = pool.adopt(page)
+        frame.mark_dirty(lsn)
+        self.stats.bump("bulk_pages_built")
+        return pid
 
     # ------------------------------------------------------------------
     # insertion machinery
@@ -1228,8 +1952,6 @@ class GiST:
         it to the empty-leaf state so descents have somewhere to land.
         Logged as a full root image (redo-only, like any SMO).
         """
-        from repro.wal.records import PageImageClr
-
         page = frame.page
         image = Page(
             pid=page.pid,

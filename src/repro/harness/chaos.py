@@ -318,6 +318,198 @@ class ChaosHarness(CrashRecoveryHarness):
             self._dump_blackbox(db2, seed, result)
         return result
 
+    #: hook points a batch trial may crash at (mid-bulk_load, both
+    #: inside and after the structure NTA, and mid-multi_put run)
+    BATCH_CRASH_POINTS = (
+        "bulk:attached",
+        "bulk:structure-built",
+        "bulk:leaf-filled",
+        "multi_put:run",
+    )
+
+    def run_batch_trial(
+        self,
+        seed: int,
+        *,
+        txns: int = 12,
+        batch_size: int = 12,
+        commit_probability: float = 0.7,
+        crash_point: str | None = None,
+    ) -> ChaosTrialResult:
+        """One seeded trial over the *batch* APIs, crashing mid-batch.
+
+        The first transaction bulk-loads the empty tree; later ones
+        issue ``multi_put`` / ``multi_delete`` batches.  At a seeded
+        transaction the trial crashes the database from inside a batch
+        operation — at one of :data:`BATCH_CRASH_POINTS`, i.e. inside
+        the bulk-load structure NTA, right after it, between leaf
+        fills, or between multi_put leaf runs — then restarts and
+        checks the commit-LSN oracle: exactly the surviving committed
+        transactions keep their effects, and the tree passes the full
+        structural check.
+        """
+        rng = random.Random(seed ^ 0xBA7C4)
+        result = ChaosTrialResult(seed=seed)
+        db = Database(
+            page_capacity=self.page_capacity,
+            pool_capacity=max(self.pool_capacity, 32),
+            lock_timeout=5.0,
+            protocol_checks=self.protocol_checks or None,
+        )
+        tree = db.create_tree("chaos", self.extension)
+        if crash_point is None:
+            crash_point = self.BATCH_CRASH_POINTS[
+                rng.randrange(len(self.BATCH_CRASH_POINTS))
+            ]
+        crash_txn = rng.randrange(txns)
+        fires_before_crash = rng.randrange(3)
+
+        class _BatchCrash(Exception):
+            pass
+
+        armed = [False]
+        fired = [0]
+
+        def maybe_crash(**_context: object) -> None:
+            if not armed[0]:
+                return
+            fired[0] += 1
+            if fired[0] > fires_before_crash:
+                # Flush the tail so the crash actually tests undo of
+                # durable mid-batch records, not just a lost tail.
+                db.log.flush()
+                raise _BatchCrash()
+
+        db.hooks.on(crash_point, maybe_crash)
+
+        commit_log: list[tuple[int, list, list]] = []
+        zombie_rids: set[object] = set()
+        counter = 0
+        for t in range(txns):
+            txn = db.begin()
+            will_commit = rng.random() < commit_probability
+            pending_inserts: list[tuple[object, object]] = []
+            pending_deletes: list[object] = []
+            committed_state: dict[object, object] = {}
+            for _, inserts, deletes in commit_log:
+                for key, rid in inserts:
+                    committed_state[rid] = key
+                for rid in deletes:
+                    committed_state.pop(rid, None)
+            armed[0] = t == crash_txn
+            fired[0] = 0
+            try:
+                if t == 0:
+                    pairs = []
+                    for _ in range(batch_size * 4):
+                        counter += 1
+                        pairs.append(
+                            (
+                                rng.randrange(self.key_space),
+                                f"s{seed}-r{counter}",
+                            )
+                        )
+                    tree.bulk_load(txn, pairs)
+                    pending_inserts.extend(pairs)
+                else:
+                    deletable = sorted(
+                        set(committed_state) - zombie_rids
+                    )
+                    if deletable and rng.random() < 0.4:
+                        victims = [
+                            (committed_state[rid], rid)
+                            for rid in rng.sample(
+                                deletable,
+                                min(batch_size, len(deletable)),
+                            )
+                        ]
+                        tree.multi_delete(txn, victims)
+                        pending_deletes.extend(rid for _, rid in victims)
+                    else:
+                        pairs = []
+                        for _ in range(batch_size):
+                            counter += 1
+                            pairs.append(
+                                (
+                                    rng.randrange(self.key_space),
+                                    f"s{seed}-r{counter}",
+                                )
+                            )
+                        tree.multi_put(txn, pairs)
+                        pending_inserts.extend(pairs)
+            except _BatchCrash:
+                result.uncommitted_txns += 1
+                result.crashed_mid_smo = crash_point in (
+                    "bulk:attached",
+                )
+                break
+            finally:
+                armed[0] = False
+            if will_commit:
+                mark = max(1, db.log.end_lsn)
+                db.commit(txn)
+                result.committed_txns += 1
+                commit_log.append(
+                    (
+                        self._commit_lsn(db, txn.xid, mark),
+                        pending_inserts,
+                        pending_deletes,
+                    )
+                )
+            else:
+                # Abandon in flight, like a client that vanished: the
+                # crash (below) wipes it, restart must undo its effects.
+                result.uncommitted_txns += 1
+                zombie_rids.update(rid for _, rid in pending_inserts)
+                zombie_rids.update(pending_deletes)
+
+        db.crash()
+        self._collect_protocol(db, "runtime", result)
+        try:
+            db2 = db.restart({"chaos": self.extension})
+        except Exception as exc:  # pragma: no cover - trial diagnostics
+            result.errors.append(f"restart failed: {exc!r}")
+            self._dump_blackbox(db, seed, result)
+            return result
+        result.recovered_ok = True
+        report = db2.recovery_report
+        result.tail_records_dropped = report.tail_records_dropped
+
+        valid_end = report.valid_end_lsn
+        expected: dict[object, object] = {}
+        for commit_lsn, inserts, deletes in commit_log:
+            if commit_lsn > valid_end or commit_lsn == 0:
+                result.lost_commits += 1
+                continue
+            for key, rid in inserts:
+                expected[rid] = key
+            for rid in deletes:
+                expected.pop(rid, None)
+
+        tree2 = db2.tree("chaos")
+        check = check_tree(tree2)
+        result.structure_ok = check.ok
+        result.errors.extend(check.errors)
+
+        txn = db2.begin()
+        found = {}
+        for key, rid in tree2.search(txn, Interval(0, self.key_space)):
+            found[rid] = key
+        db2.commit(txn)
+        if found == expected:
+            result.contents_match = True
+        else:
+            missing = sorted(set(expected) - set(found))[:5]
+            extra = sorted(set(found) - set(expected))[:5]
+            result.errors.append(
+                f"content mismatch at {crash_point}: "
+                f"missing={missing} extra={extra}"
+            )
+        self._collect_protocol(db2, "recovery", result)
+        if not result.ok or result.protocol_violations:
+            self._dump_blackbox(db2, seed, result)
+        return result
+
     def _dump_blackbox(
         self, db: Database, seed: int, result: ChaosTrialResult
     ) -> None:
@@ -384,6 +576,13 @@ def main(argv: list[str] | None = None) -> int:
         help="every nth trial also crashes inside a node split",
     )
     parser.add_argument(
+        "--batch-trials",
+        type=int,
+        default=0,
+        help="additional trials over the batch APIs (bulk_load / "
+        "multi_put / multi_delete) that crash mid-batch-operation",
+    )
+    parser.add_argument(
         "--protocol-checks",
         action="store_true",
         help="attach the lockdep witness to every trial; any hard "
@@ -406,6 +605,8 @@ def main(argv: list[str] | None = None) -> int:
         seed = args.base_seed + i
         mid_smo = args.mid_smo_every > 0 and i % args.mid_smo_every == 0
         results.append(harness.run_trial(seed, crash_mid_smo=mid_smo))
+    for i in range(args.batch_trials):
+        results.append(harness.run_batch_trial(args.base_seed + i))
 
     print(render_table(chaos_rows(results), title="chaos trials"))
     # protocol violations fail the run even though the recovery oracle

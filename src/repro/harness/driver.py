@@ -243,18 +243,28 @@ class TransactionalDriver:
         return metrics
 
     def _apply(self, txn, op: Op) -> None:
+        from repro.errors import KeyNotFoundError
+
         if op.kind == "insert":
             self.tree.insert(txn, op.key, op.rid)
         elif op.kind == "delete":
             try:
                 self.tree.delete(txn, op.key, op.rid)
             except Exception as exc:  # key may be gone after retries
-                from repro.errors import KeyNotFoundError
-
                 if not isinstance(exc, KeyNotFoundError):
                     raise
         elif op.kind == "search":
             self.tree.search(txn, op.query)
+        elif op.kind == "multi_put":
+            self.tree.multi_put(txn, op.pairs)
+        elif op.kind == "multi_get":
+            self.tree.multi_get(txn, op.keys)
+        elif op.kind == "multi_delete":
+            try:
+                self.tree.multi_delete(txn, op.pairs)
+            except Exception as exc:  # pairs may be gone after retries
+                if not isinstance(exc, KeyNotFoundError):
+                    raise
         else:
             raise ValueError(f"unknown op kind {op.kind!r}")
 

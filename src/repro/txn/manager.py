@@ -94,6 +94,28 @@ class TransactionManager:
         self._finish(txn, TxnState.COMMITTED)
         self.log.append(EndRecord(xid=txn.xid))
 
+    def commit_many(self, txns: "list[Transaction]") -> None:
+        """Commit a batch with one log force covering every commit record.
+
+        All commit records are appended via the batched log path, then a
+        single flush to the highest LSN makes the whole batch durable
+        at once — the caller-driven analogue of group commit, for
+        callers holding several ready-to-commit transactions.  Finish
+        work (lock/predicate release, End records) follows per
+        transaction, in order.
+        """
+        if not txns:
+            return
+        for txn in txns:
+            txn.require_active()
+        lsns = self.log.append_many(
+            [CommitRecord(xid=txn.xid) for txn in txns]
+        )
+        self.log.flush(lsns[-1])
+        for txn in txns:
+            self._finish(txn, TxnState.COMMITTED)
+        self.log.append_many([EndRecord(xid=txn.xid) for txn in txns])
+
     def rollback(self, txn: Transaction) -> None:
         """Abort ``txn``: undo all its effects, then release everything."""
         if txn.state in (TxnState.COMMITTED, TxnState.ABORTED):

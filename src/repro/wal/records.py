@@ -690,6 +690,54 @@ class PageImageClr(LogRecord):
         page.entries = restored.entries
 
 
+@dataclass
+class RootReplaceRecord(LogRecord):
+    """Undoable full-image replacement of the (stable) root page.
+
+    Written by :meth:`~repro.gist.tree.GiST.bulk_load`'s final attach
+    step: the freshly built level structure becomes reachable by
+    swapping the empty root leaf's image for an internal node pointing
+    at the new top level.  Unlike :class:`PageImageClr` this record is
+    *undoable*: if restart undo rolls back the surrounding nested top
+    action after the attach hit disk, the page-oriented undo restores
+    the old root image *before* the lower-LSN :class:`GetPageRecord`
+    undos free the now-unreachable child pages — the root never points
+    at a freed page.
+    """
+
+    page_id: PageId = NO_PAGE
+    new_image: Page | None = None
+    old_image: Page | None = None
+
+    def __post_init__(self) -> None:
+        self.undoable = True
+
+    def affected_pages(self) -> Sequence[PageId]:
+        """Pages whose images this record's redo touches."""
+        return (self.page_id,)
+
+    def redo_page(self, page: Page) -> None:
+        """Apply this record's redo action to one affected page."""
+        self._apply(page, self.new_image)
+
+    def undo_page(self, page: Page) -> None:
+        """Restore the pre-attach root image."""
+        self._apply(page, self.old_image)
+
+    @staticmethod
+    def _apply(page: Page, image: Page | None) -> None:
+        if image is None:
+            return
+        restored = image.snapshot()
+        page.kind = restored.kind
+        page.level = restored.level
+        page.nsn = restored.nsn
+        page.rightlink = restored.rightlink
+        page.capacity = restored.capacity
+        page.bp = restored.bp
+        page.entries = restored.entries
+
+
 #: Table 1 row order, used by the Table 1 reproduction matrix.
 TABLE1_RECORD_TYPES: tuple[type[LogRecord], ...] = (
     ParentEntryUpdateRecord,

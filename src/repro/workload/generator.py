@@ -26,10 +26,14 @@ from repro.ext.rtree import Rect
 class Op:
     """One operation in a generated workload."""
 
-    kind: str  # "insert" | "delete" | "search"
+    kind: str  # "insert" | "delete" | "search" | "multi_put" | "multi_get" | "multi_delete"
     key: object = None
     rid: object = None
     query: object = None
+    #: (key, rid) batch for multi_put / multi_delete
+    pairs: tuple = ()
+    #: key batch for multi_get
+    keys: tuple = ()
 
 
 # ---------------------------------------------------------------------------
@@ -179,14 +183,28 @@ class SetKeys:
 
 @dataclass
 class MixSpec:
-    """Fractions of each operation kind (must sum to 1)."""
+    """Fractions of each operation kind (must sum to 1).
+
+    The ``multi_*`` fractions emit *batched* operations — each op
+    carries a whole key batch and counts as one drawn operation.
+    """
 
     insert: float = 0.5
     search: float = 0.5
     delete: float = 0.0
+    multi_put: float = 0.0
+    multi_get: float = 0.0
+    multi_delete: float = 0.0
 
     def __post_init__(self) -> None:
-        total = self.insert + self.search + self.delete
+        total = (
+            self.insert
+            + self.search
+            + self.delete
+            + self.multi_put
+            + self.multi_get
+            + self.multi_delete
+        )
         if abs(total - 1.0) > 1e-9:
             raise ValueError(f"mix fractions sum to {total}, expected 1")
 
@@ -205,11 +223,13 @@ class ScalarWorkload:
         key_space: int = 1_000_000,
         distribution: str = "uniform",
         selectivity: float = 0.005,
+        batch_size: int = 16,
     ) -> None:
         self.keys = ScalarKeys(seed, key_space, distribution)
         self._rng = random.Random(seed ^ 0x5EED)
         self.mix = mix or MixSpec()
         self.selectivity = selectivity
+        self.batch_size = batch_size
         self._live: list[tuple[int, str]] = []
         self._counter = 0
 
@@ -218,19 +238,46 @@ class ScalarWorkload:
         for _ in range(count):
             yield self.next_op()
 
-    def next_op(self) -> Op:
-        """Draw the next operation of the mix."""
-        u = self._rng.random()
-        if u < self.mix.insert or not self._live:
+    def _fresh_pairs(self, count: int) -> list[tuple[int, str]]:
+        pairs = []
+        for _ in range(count):
             key = self.keys.next_key()
             self._counter += 1
             rid = f"r{self._counter}"
             self._live.append((key, rid))
-            return Op("insert", key=key, rid=rid)
-        if u < self.mix.insert + self.mix.delete:
+            pairs.append((key, rid))
+        return pairs
+
+    def next_op(self) -> Op:
+        """Draw the next operation of the mix."""
+        mix = self.mix
+        u = self._rng.random()
+        if u < mix.insert or not self._live:
+            (pair,) = self._fresh_pairs(1)
+            return Op("insert", key=pair[0], rid=pair[1])
+        u -= mix.insert
+        if u < mix.delete:
             idx = self._rng.randrange(len(self._live))
             key, rid = self._live.pop(idx)
             return Op("delete", key=key, rid=rid)
+        u -= mix.delete
+        if u < mix.multi_put:
+            return Op(
+                "multi_put", pairs=tuple(self._fresh_pairs(self.batch_size))
+            )
+        u -= mix.multi_put
+        if u < mix.multi_get:
+            count = min(self.batch_size, len(self._live))
+            sample = self._rng.sample(self._live, count)
+            return Op("multi_get", keys=tuple(key for key, _ in sample))
+        u -= mix.multi_get
+        if u < mix.multi_delete:
+            count = min(self.batch_size, len(self._live))
+            pairs = []
+            for _ in range(count):
+                idx = self._rng.randrange(len(self._live))
+                pairs.append(self._live.pop(idx))
+            return Op("multi_delete", pairs=tuple(pairs))
         return Op("search", query=self.keys.range_query(self.selectivity))
 
     def preload(self, count: int) -> list[Op]:

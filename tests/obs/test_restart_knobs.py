@@ -1,7 +1,7 @@
 """Observability knobs must survive ``Database.restart``."""
 
 from repro.database import Database
-from repro.ext.btree import BTreeExtension
+from repro.ext.btree import BTreeExtension, Interval
 
 
 def _crash_restart(db, **config):
@@ -68,3 +68,69 @@ class TestRestartPropagation:
         assert db2.log.tracker is None
         db3 = _crash_restart(db2, op_tracing=True)
         assert db3.log.tracker is db3.spans
+
+
+class TestWalPipelineKnobs:
+    """The WAL writer pipeline knobs must survive ``Database.restart``."""
+
+    def test_wal_writer_carries_over(self):
+        db = Database(page_capacity=8, wal_writer=True)
+        db.create_tree("t", BTreeExtension())
+        assert db.log.wal_writer_active
+        db2 = _crash_restart(db)
+        assert db2.wal_writer is True
+        assert db2.log.wal_writer_active
+        # and the revived writer actually serves commits
+        tree = db2.tree("t")
+        txn = db2.begin()
+        tree.insert(txn, 2, "r2")
+        db2.commit(txn)
+        assert db2.log.stats.writer_batches > 0
+        db2.shutdown()
+
+    def test_wal_writer_off_stays_off(self):
+        db = Database(page_capacity=8)
+        db.create_tree("t", BTreeExtension())
+        db2 = _crash_restart(db)
+        assert db2.wal_writer is False
+        assert not db2.log.wal_writer_active
+        assert db2.log._writer_thread is None
+
+    def test_group_commit_window_carries_over(self):
+        db = Database(
+            page_capacity=8, wal_writer=True, group_commit_window=0.004
+        )
+        db.create_tree("t", BTreeExtension())
+        db2 = _crash_restart(db)
+        assert db2.group_commit_window == 0.004
+        assert db2.log.group_commit_window == 0.004
+        db2.shutdown()
+
+    def test_explicit_restart_override_wins(self):
+        db = Database(page_capacity=8, wal_writer=True)
+        db.create_tree("t", BTreeExtension())
+        db2 = _crash_restart(db, wal_writer=False)
+        assert not db2.log.wal_writer_active
+        db3 = _crash_restart(db2, wal_writer=True, group_commit_window=0.002)
+        assert db3.log.wal_writer_active
+        assert db3.log.group_commit_window == 0.002
+        db3.shutdown()
+
+    def test_writer_composes_with_leaf_hints(self):
+        # both knobs on together: batch inserts through the writer with
+        # the hint cache live, and both survive the restart
+        db = Database(page_capacity=8, wal_writer=True, leaf_hints=True)
+        tree = db.create_tree("t", BTreeExtension())
+        txn = db.begin()
+        tree.multi_put(txn, [(i, f"r{i}") for i in range(40)])
+        db.commit(txn)
+        db.crash()
+        db2 = db.restart({"t": BTreeExtension()})
+        assert db2.leaf_hints is True
+        assert db2.log.wal_writer_active
+        tree2 = db2.tree("t")
+        txn = db2.begin()
+        got = {k for k, _ in tree2.search(txn, Interval(0, 100))}
+        db2.commit(txn)
+        assert got == set(range(40))
+        db2.shutdown()

@@ -1,0 +1,238 @@
+"""Dedicated WAL writer thread: coalescing, lifecycle, crash safety."""
+
+import threading
+import time
+
+from repro.database import Database
+from repro.ext.btree import BTreeExtension
+from repro.wal.log import LogManager
+from repro.wal.records import AddLeafEntryRecord, CommitRecord
+
+
+def _commit_records(log: LogManager, n: int) -> list[int]:
+    return [log.append(CommitRecord(xid=i + 1)) for i in range(n)]
+
+
+class TestWriterLifecycle:
+    def test_start_is_idempotent(self):
+        log = LogManager()
+        log.start_wal_writer()
+        thread = log._writer_thread
+        log.start_wal_writer()
+        assert log._writer_thread is thread
+        assert log.wal_writer_active
+        log.stop_wal_writer()
+        assert not log.wal_writer_active
+
+    def test_stop_without_writer_is_noop(self):
+        log = LogManager()
+        assert not log.wal_writer_active
+        log.stop_wal_writer()
+
+    def test_restartable(self):
+        log = LogManager()
+        log.start_wal_writer()
+        log.stop_wal_writer()
+        log.start_wal_writer()
+        lsns = _commit_records(log, 1)
+        log.flush(lsns[-1])
+        assert log.flushed_lsn >= lsns[-1]
+        log.stop_wal_writer()
+
+    def test_default_is_inline(self):
+        log = LogManager()
+        lsn = log.append(CommitRecord(xid=1))
+        log.flush(lsn)
+        assert log.flushed_lsn >= lsn
+        assert log._writer_thread is None
+        assert log.stats.writer_batches == 0
+
+
+class TestWriterCoalescing:
+    def test_concurrent_committers_share_one_force(self):
+        log = LogManager(flush_delay=0.02)
+        log.start_wal_writer()
+        try:
+            lsns = _commit_records(log, 8)
+            done: list[int] = []
+
+            def committer(lsn: int) -> None:
+                log.flush(lsn)
+                done.append(lsn)
+
+            threads = [
+                threading.Thread(target=committer, args=(lsn,))
+                for lsn in lsns
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(10.0)
+            assert sorted(done) == lsns
+            assert log.flushed_lsn >= lsns[-1]
+            # far fewer forces than committers, and batches recorded
+            assert log.stats.flushes < len(lsns)
+            assert log.stats.writer_batches >= 1
+            assert log.stats.writer_max_batch >= 2
+        finally:
+            log.stop_wal_writer()
+
+    def test_serial_committer_still_forces_each_commit(self):
+        log = LogManager()
+        log.start_wal_writer()
+        try:
+            for lsn in _commit_records(log, 5):
+                log.flush(lsn)
+                assert log.flushed_lsn >= lsn
+        finally:
+            log.stop_wal_writer()
+
+    def test_fixed_window_gathers_stragglers(self):
+        log = LogManager(flush_delay=0.005)
+        log.group_commit_window = 0.05
+        log.start_wal_writer()
+        try:
+            lsns = _commit_records(log, 4)
+            threads = [
+                threading.Thread(target=log.flush, args=(lsn,))
+                for lsn in lsns
+            ]
+            for t in threads:
+                t.start()
+                time.sleep(0.005)  # arrive inside the linger window
+            for t in threads:
+                t.join(10.0)
+            assert log.flushed_lsn >= lsns[-1]
+            assert log.stats.flushes == 1
+            assert log.stats.writer_max_batch == len(lsns)
+        finally:
+            log.stop_wal_writer()
+
+    def test_adaptive_window_skips_linger_for_sparse_traffic(self):
+        # A lone committer with no arrival history must not linger:
+        # flush returns promptly.
+        log = LogManager()
+        log.start_wal_writer()
+        try:
+            lsn = log.append(CommitRecord(xid=1))
+            start = time.perf_counter()
+            log.flush(lsn)
+            assert time.perf_counter() - start < 0.5
+        finally:
+            log.stop_wal_writer()
+
+
+class TestWriterShutdown:
+    def test_drain_forces_pending_before_exit(self):
+        log = LogManager(flush_delay=0.01)
+        log.start_wal_writer()
+        lsns = _commit_records(log, 3)
+        waiter = threading.Thread(target=log.flush, args=(lsns[-1],))
+        waiter.start()
+        time.sleep(0.002)
+        log.stop_wal_writer(drain=True)
+        waiter.join(10.0)
+        assert not waiter.is_alive()
+        assert log.flushed_lsn >= lsns[-1]
+
+    def test_abort_wakes_parked_committers_inline_fallback(self):
+        # drain=False (crash path): parked committers must not hang;
+        # they fall back to forcing inline themselves.
+        log = LogManager(flush_delay=0.05)
+        log.group_commit_window = 10.0  # park the committer for sure
+        log.start_wal_writer()
+        lsn = log.append(CommitRecord(xid=1))
+        done = threading.Event()
+
+        def committer() -> None:
+            log.flush(lsn)
+            done.set()
+
+        t = threading.Thread(target=committer)
+        t.start()
+        time.sleep(0.01)
+        log.stop_wal_writer(drain=False)
+        assert done.wait(10.0), "parked committer hung after writer abort"
+        t.join(10.0)
+        assert log.flushed_lsn >= lsn
+
+
+class TestAppendMany:
+    def test_batch_append_assigns_contiguous_lsns(self):
+        log = LogManager()
+        records = [
+            AddLeafEntryRecord(
+                xid=1, tree="t", page_id=7, key=i, rid=f"r{i}"
+            )
+            for i in range(4)
+        ]
+        lsns = log.append_many(records)
+        assert lsns == [1, 2, 3, 4]
+        assert [r.lsn for r in records] == lsns
+        # per-txn backchain threads through the batch
+        assert records[0].prev_lsn == 0
+        assert records[3].prev_lsn == 3
+        assert log.last_lsn_of(1) == 4
+
+    def test_empty_batch(self):
+        log = LogManager()
+        assert log.append_many([]) == []
+
+
+class TestWriterThroughDatabase:
+    def test_knob_starts_writer_and_shutdown_stops_it(self):
+        db = Database(page_capacity=8, wal_writer=True)
+        tree = db.create_tree("t", BTreeExtension())
+        assert db.log.wal_writer_active
+        txn = db.begin()
+        tree.insert(txn, 1, "r1")
+        db.commit(txn)
+        db.shutdown()
+        assert not db.log.wal_writer_active
+
+    def test_crash_with_writer_recovers(self):
+        db = Database(page_capacity=8, wal_writer=True)
+        tree = db.create_tree("t", BTreeExtension())
+        txn = db.begin()
+        for i in range(20):
+            tree.insert(txn, i, f"r{i}")
+        db.commit(txn)
+        db.crash()
+        db2 = db.restart({"t": BTreeExtension()})
+        tree2 = db2.tree("t")
+        txn = db2.begin()
+        from repro.ext.btree import Interval
+
+        got = {k for k, _ in tree2.search(txn, Interval(0, 100))}
+        db2.commit(txn)
+        assert got == set(range(20))
+        db2.shutdown()
+
+    def test_concurrent_database_commits_batch(self):
+        db = Database(
+            page_capacity=16, flush_delay=0.003, wal_writer=True
+        )
+        tree = db.create_tree("t", BTreeExtension())
+        before = db.log.stats.snapshot()
+
+        def worker(wid: int) -> None:
+            for i in range(6):
+                txn = db.begin()
+                tree.insert(txn, wid * 100 + i, f"{wid}-{i}")
+                db.commit(txn)
+
+        threads = [
+            threading.Thread(target=worker, args=(w,)) for w in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        after = db.log.stats.snapshot()
+        commits = 8 * 6
+        flushes = after["flushes"] - before["flushes"]
+        assert flushes < commits, (
+            f"{flushes} forces for {commits} commits: no batching"
+        )
+        assert after["writer_batches"] > before["writer_batches"]
+        db.shutdown()

@@ -120,3 +120,59 @@ class TestMixAndWorkloads:
         assert [len(b) for b in buckets] == [4, 3, 3]
         assert buckets[0][0] is ops[0]
         assert buckets[1][0] is ops[1]
+
+
+class TestBatchedMix:
+    def test_batch_fractions_join_the_sum(self):
+        with pytest.raises(ValueError):
+            MixSpec(insert=0.5, search=0.5, multi_put=0.2)
+        MixSpec(insert=0.3, search=0.3, multi_put=0.2, multi_get=0.1,
+                multi_delete=0.1)  # sums to 1: fine
+
+    def test_batched_ops_emitted_deterministically(self):
+        mix = MixSpec(
+            insert=0.2,
+            search=0.2,
+            multi_put=0.3,
+            multi_get=0.2,
+            multi_delete=0.1,
+        )
+        a = list(ScalarWorkload(11, mix=mix, batch_size=8).ops(300))
+        b = list(ScalarWorkload(11, mix=mix, batch_size=8).ops(300))
+        assert a == b
+        kinds = {op.kind for op in a}
+        assert {"multi_put", "multi_get", "multi_delete"} <= kinds
+
+    def test_multi_put_pairs_have_unique_rids(self):
+        mix = MixSpec(insert=0.0, search=0.2, multi_put=0.8)
+        rids = [
+            rid
+            for op in ScalarWorkload(11, mix=mix, batch_size=6).ops(200)
+            if op.kind == "multi_put"
+            for _, rid in op.pairs
+        ]
+        assert len(rids) == len(set(rids))
+
+    def test_multi_delete_targets_live_pairs(self):
+        mix = MixSpec(insert=0.0, search=0.0, multi_put=0.6, multi_delete=0.4)
+        wl = ScalarWorkload(11, mix=mix, batch_size=5)
+        live = {rid: key for op in wl.preload(10)
+                for key, rid in [(op.key, op.rid)]}
+        for op in wl.ops(400):
+            if op.kind == "insert":  # emitted only while live is empty
+                live[op.rid] = op.key
+            elif op.kind == "multi_put":
+                for key, rid in op.pairs:
+                    live[rid] = key
+            elif op.kind == "multi_delete":
+                assert op.pairs  # never emitted empty
+                for key, rid in op.pairs:
+                    assert live.pop(rid) == key
+
+    def test_multi_get_keys_sized_to_batch(self):
+        mix = MixSpec(insert=0.0, search=0.0, multi_get=1.0)
+        wl = ScalarWorkload(11, mix=mix, batch_size=7)
+        wl.preload(20)
+        for op in wl.ops(50):
+            assert op.kind == "multi_get"
+            assert 1 <= len(op.keys) <= 7
