@@ -1,0 +1,303 @@
+"""Partitioned scale-out: routing determinism, parallelism, skew.
+
+Three experiments over :class:`repro.cluster.PartitionedDatabase`:
+
+1. **Deterministic per-partition accounting** (counted, not timed).
+   The client-side router's prediction of where every key lands must
+   match the workers' own transaction counts *exactly* — same stream,
+   same seed, same histogram, run after run.  A scatter range scan is
+   also audited for exactly-once gathering: the merged iterator yields
+   every key once, with no cross-partition duplicates to dedupe.
+
+2. **Wall-clock scaling, 1 vs 4 partitions** under the mixed workload.
+   Two regimes are measured:
+
+   * an *overlap* workload (``io_delay`` > 0 with a deliberately small
+     buffer pool, so ops really hit the simulated disk): four worker
+     processes overlap their I/O stalls and each serves a quarter-sized
+     working set, so even a single-core runner must show **>2x** —
+     this regime carries the gate everywhere;
+   * a *pure-CPU* workload: four processes need four cores, so the
+     **>2x** gate applies only when ``os.cpu_count() >= 4`` (the
+     ISSUE's multicore-runner qualifier); the measured ratio is
+     reported unconditionally in the JSON artifact.
+
+3. **Hot-partition skew** via the generator's partition-routed key
+   streams: uniform routing lands balanced; Zipf-skewed routing must
+   concentrate measurably more traffic on the hottest partition.
+
+``BENCH_partition.json`` receives the machine-readable numbers;
+``BENCH_QUICK=1`` shrinks the workloads for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.cluster import PartitionedDatabase
+from repro.cluster.router import HashRouter
+from repro.ext.btree import BTreeExtension, Interval
+from repro.harness.driver import ClusterDriver
+from repro.workload.generator import (
+    MixSpec,
+    PartitionRoutedKeys,
+    ScalarWorkload,
+    partition_histogram,
+)
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+
+KEY_SPACE = 10_000
+PRELOAD = 120 if QUICK else 400
+MIXED_OPS = 120 if QUICK else 400
+CPU_OPS = 200 if QUICK else 600
+THREADS = 4
+MULTICORE = (os.cpu_count() or 1) >= 4
+
+MIX = MixSpec(
+    insert=0.35, search=0.25, delete=0.10, multi_put=0.15, multi_get=0.15
+)
+
+
+def _fresh_cluster(partitions: int, **db_config) -> PartitionedDatabase:
+    cluster = PartitionedDatabase(
+        partitions, router="hash", page_capacity=16, **db_config
+    )
+    cluster.create_tree("part", BTreeExtension())
+    return cluster
+
+
+def _workload(seed: int) -> ScalarWorkload:
+    return ScalarWorkload(
+        seed, mix=MIX, key_space=KEY_SPACE, batch_size=8
+    )
+
+
+# ---------------------------------------------------------------------------
+# 1. deterministic per-partition accounting
+# ---------------------------------------------------------------------------
+
+
+def test_per_partition_accounting_is_deterministic(emit, emit_json):
+    """Client-side routing prediction == worker-side reality, exactly."""
+    partitions = 4
+    rows = []
+    histograms = []
+    for run in range(2):
+        workload = _workload(seed=1234)  # same seed both runs
+        ops = list(workload.ops(MIXED_OPS))
+        cluster = _fresh_cluster(partitions)
+        try:
+            predicted = partition_histogram(ops, cluster.router)
+            before = {
+                p: info["end_lsn"]
+                for p, info in cluster.describe().items()
+            }
+            driver = ClusterDriver(cluster, "part")
+            driver.run(ops, threads=1)  # single thread: exact op counts
+            snap = cluster.snapshot()
+            routed = [
+                snap["cluster"]["cluster"]["partition"][str(p)][
+                    "routed_ops"
+                ]
+                for p in range(partitions)
+            ]
+            moved = {
+                p: info["end_lsn"] - before[p]
+                for p, info in cluster.describe().items()
+            }
+        finally:
+            cluster.shutdown()
+        histograms.append((predicted, routed))
+        rows.append(
+            {
+                "run": run,
+                "predicted": "/".join(map(str, predicted)),
+                "routed": "/".join(map(str, routed)),
+                "log_grew": "/".join(
+                    "y" if moved[p] > 0 else "n" for p in range(partitions)
+                ),
+            }
+        )
+    emit("partition accounting (same seed, two runs)", rows)
+
+    (pred_a, routed_a), (pred_b, routed_b) = histograms
+    # identical across runs (stable hash, seeded stream) ...
+    assert pred_a == pred_b
+    assert routed_a == routed_b
+    # ... and the client's prediction is the workers' reality
+    assert pred_a == routed_a
+    emit_json(
+        "partition",
+        {
+            "accounting": {
+                "partitions": partitions,
+                "ops": MIXED_OPS,
+                "predicted_histogram": pred_a,
+                "routed_histogram": routed_a,
+                "deterministic": True,
+            }
+        },
+    )
+
+
+def test_scatter_scan_gathers_exactly_once(emit_json):
+    """The merged range scan yields each key exactly once."""
+    cluster = _fresh_cluster(4)
+    try:
+        n = 300 if QUICK else 1000
+        cluster.multi_put("part", [(i, f"r{i}") for i in range(n)])
+        rows = cluster.search("part", Interval(0, n - 1))
+        keys = [k for k, _ in rows]
+        assert keys == sorted(keys)
+        assert keys == list(range(n))  # complete, ordered, no dupes
+    finally:
+        cluster.shutdown()
+    emit_json(
+        "partition",
+        {"scatter_scan": {"keys": n, "exactly_once": True}},
+    )
+
+
+# ---------------------------------------------------------------------------
+# 2. wall-clock scaling: 1 vs 4 partitions
+# ---------------------------------------------------------------------------
+
+
+def _timed_run(
+    partitions: int, ops, *, io_delay: float, pool_capacity: int = 4096
+) -> float:
+    cluster = _fresh_cluster(
+        partitions, io_delay=io_delay, pool_capacity=pool_capacity
+    )
+    try:
+        driver = ClusterDriver(cluster, "part")
+        workload = _workload(seed=77)
+        driver.preload(workload.preload(PRELOAD))
+        start = time.perf_counter()
+        driver.run(ops, threads=THREADS)
+        return time.perf_counter() - start
+    finally:
+        cluster.shutdown()
+
+
+def test_mixed_workload_speedup(emit, emit_json):
+    """>2x at 4 partitions vs 1 on the overlap workload; CPU regime
+    gated when the runner actually has the cores."""
+    workload = _workload(seed=77)
+    workload.preload(PRELOAD)  # advance past the preload prefix
+    ops = list(workload.ops(MIXED_OPS))
+
+    # A small buffer pool forces real eviction/read stalls (io_delay is
+    # paid only on disk I/O); partitioning then wins twice — stalls
+    # overlap across worker processes, and each partition's quarter-
+    # sized working set fits its pool better.
+    io_t1 = _timed_run(1, ops, io_delay=0.002, pool_capacity=16)
+    io_t4 = _timed_run(4, ops, io_delay=0.002, pool_capacity=16)
+    io_speedup = io_t1 / io_t4 if io_t4 > 0 else float("inf")
+
+    cpu_workload = _workload(seed=78)
+    cpu_workload.preload(PRELOAD)
+    cpu_ops = list(cpu_workload.ops(CPU_OPS))
+    cpu_t1 = _timed_run(1, cpu_ops, io_delay=0.0)
+    cpu_t4 = _timed_run(4, cpu_ops, io_delay=0.0)
+    cpu_speedup = cpu_t1 / cpu_t4 if cpu_t4 > 0 else float("inf")
+
+    emit(
+        "mixed workload: 1 vs 4 partitions",
+        [
+            {
+                "regime": "io_overlap",
+                "t_1p_s": round(io_t1, 3),
+                "t_4p_s": round(io_t4, 3),
+                "speedup": round(io_speedup, 2),
+                "gated": "yes",
+            },
+            {
+                "regime": "pure_cpu",
+                "t_1p_s": round(cpu_t1, 3),
+                "t_4p_s": round(cpu_t4, 3),
+                "speedup": round(cpu_speedup, 2),
+                "gated": "yes" if MULTICORE else "no (<4 cores)",
+            },
+        ],
+    )
+    emit_json(
+        "partition",
+        {
+            "speedup": {
+                "threads": THREADS,
+                "ops": MIXED_OPS,
+                "cpus": os.cpu_count(),
+                "multicore_runner": MULTICORE,
+                "io_overlap": {
+                    "t_1_partition_s": round(io_t1, 4),
+                    "t_4_partitions_s": round(io_t4, 4),
+                    "speedup": round(io_speedup, 2),
+                },
+                "pure_cpu": {
+                    "t_1_partition_s": round(cpu_t1, 4),
+                    "t_4_partitions_s": round(cpu_t4, 4),
+                    "speedup": round(cpu_speedup, 2),
+                },
+            }
+        },
+    )
+    # Overlap regime: four worker processes overlap their simulated-I/O
+    # stalls regardless of core count — gate everywhere.
+    assert io_speedup > 2.0, (
+        f"io-overlap speedup {io_speedup:.2f}x at 4 partitions, need >2x"
+    )
+    # CPU regime: needs real cores to show parallelism.
+    if MULTICORE:
+        assert cpu_speedup > 2.0, (
+            f"pure-cpu speedup {cpu_speedup:.2f}x on a "
+            f"{os.cpu_count()}-core runner, need >2x"
+        )
+
+
+# ---------------------------------------------------------------------------
+# 3. hot-partition skew
+# ---------------------------------------------------------------------------
+
+
+def test_zipf_routing_shows_measurable_imbalance(emit, emit_json):
+    """Uniform routing balances; Zipf routing makes a hot partition."""
+    partitions = 4
+    router = HashRouter(partitions)
+    n = 400 if QUICK else 2000
+    rows = []
+    imbalances = {}
+    for routing in ("uniform", "zipf"):
+        keys = PartitionRoutedKeys(
+            seed=5, router=router, key_space=KEY_SPACE, routing=routing
+        )
+        workload = ScalarWorkload(
+            5, mix=MixSpec(insert=1.0, search=0.0), key_space=KEY_SPACE,
+            key_source=keys,
+        )
+        ops = list(workload.ops(n))
+        hist = partition_histogram(ops, router)
+        imbalance = max(hist) / (sum(hist) / len(hist))
+        imbalances[routing] = imbalance
+        rows.append(
+            {
+                "routing": routing,
+                "histogram": "/".join(map(str, hist)),
+                "hottest_over_mean": round(imbalance, 2),
+            }
+        )
+    emit("partition-routed key streams (hash router, 4 partitions)", rows)
+    emit_json(
+        "partition",
+        {
+            "skew": {
+                "keys": n,
+                "uniform_imbalance": round(imbalances["uniform"], 3),
+                "zipf_imbalance": round(imbalances["zipf"], 3),
+            }
+        },
+    )
+    assert imbalances["uniform"] < 1.3  # balanced within noise
+    assert imbalances["zipf"] > imbalances["uniform"] * 1.5  # visibly hot

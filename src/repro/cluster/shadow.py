@@ -1,0 +1,133 @@
+"""Per-partition durable WAL shadow (the cross-process recovery medium).
+
+A partition worker's :class:`~repro.database.Database` keeps its WAL in
+memory — fine inside one process, useless when the *process* is the
+failure unit: SIGKILL takes the log down with it.  The shadow is the
+partition's durability boundary across process death: after every
+commit the worker appends the newly-durable log records (those at or
+below ``flushed_lsn``) to an append-only file, **before** acknowledging
+the commit to the client.  Killing the worker at any instant therefore
+leaves every *acknowledged* commit recoverable, which is exactly the
+contract the chaos harness's commit-LSN oracle checks per partition.
+
+A process kill (the failure the supervisor handles) does not lose OS
+page-cache contents, so a plain ``flush()`` to the file is durable for
+this failure model; no fsync is needed.  A frame torn by a kill
+mid-append is detected by the same length+CRC framing the RPC layer
+uses and treated as the torn WAL tail it is: :meth:`load` truncates at
+the first bad frame and recovery replays the valid prefix — the ARIES
+treatment, one level up.
+
+Respawn rebuilds a :class:`~repro.wal.log.LogManager` whose records
+are the shadow's surviving prefix and hands it to
+:meth:`Database.open_from_log`, whose redo pass reconstructs every page
+onto an empty store (each page's full history is WAL-covered).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+
+from repro.wal.log import LogManager
+from repro.wal.records import LogRecord
+
+#: shadow frame header: record payload length + CRC32 (mirrors rpc.py)
+_HEADER = struct.Struct("!II")
+
+
+class WalShadow:
+    """Append-only framed record file for one partition's durable WAL."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        #: LSN of the last record this shadow holds (records are
+        #: appended strictly in LSN order starting at 1, so the count
+        #: on disk *is* the highest shadowed LSN)
+        self.shadowed_lsn = 0
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    # append side (live worker)
+    # ------------------------------------------------------------------
+    def open_for_append(self) -> None:
+        """Open (create) the file for appending."""
+        if self._fh is None:
+            self._fh = open(self.path, "ab")
+
+    def append_durable(self, log: LogManager) -> int:
+        """Append every not-yet-shadowed durable record of ``log``.
+
+        Returns the number of records appended.  Called by the worker
+        after each commit (and checkpoint), before the commit is
+        acknowledged on the wire; the write + flush makes the records
+        survive a subsequent SIGKILL.
+        """
+        self.open_for_append()
+        flushed = log.flushed_lsn
+        if flushed <= self.shadowed_lsn:
+            return 0
+        appended = 0
+        for record in log.records_from(self.shadowed_lsn + 1):
+            if record.lsn > flushed:
+                break
+            payload = pickle.dumps(
+                record, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            self._fh.write(
+                _HEADER.pack(len(payload), zlib.crc32(payload))
+            )
+            self._fh.write(payload)
+            self.shadowed_lsn = record.lsn
+            appended += 1
+        if appended:
+            self._fh.flush()
+        return appended
+
+    def close(self) -> None:
+        """Close the append handle (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # ------------------------------------------------------------------
+    # load side (respawned worker)
+    # ------------------------------------------------------------------
+    def load_records(self) -> list[LogRecord]:
+        """Read back the surviving record prefix.
+
+        Stops — without raising — at EOF, a truncated frame, or a CRC
+        mismatch: anything after the first bad frame is a torn tail a
+        kill produced mid-append, and the valid prefix is exactly what
+        recovery should replay.  A missing file is an empty history.
+        """
+        records: list[LogRecord] = []
+        if not os.path.exists(self.path):
+            return records
+        with open(self.path, "rb") as fh:
+            while True:
+                header = fh.read(_HEADER.size)
+                if len(header) < _HEADER.size:
+                    break  # clean EOF or torn header
+                length, crc = _HEADER.unpack(header)
+                payload = fh.read(length)
+                if len(payload) < length or zlib.crc32(payload) != crc:
+                    break  # torn tail: truncate here
+                records.append(pickle.loads(payload))
+        return records
+
+    def load_log(self) -> LogManager:
+        """A fresh :class:`LogManager` over the surviving prefix.
+
+        Every loaded record is durable by construction (it was only
+        shadowed once at or below ``flushed_lsn``), so the rebuilt log's
+        durability boundary is its end.
+        """
+        records = self.load_records()
+        log = LogManager()
+        log._records = records
+        log._flushed_lsn = len(records)
+        self.shadowed_lsn = len(records)
+        return log

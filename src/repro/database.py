@@ -515,6 +515,50 @@ class Database:
             )
         return new_db
 
+    @classmethod
+    def open_from_log(
+        cls,
+        log: LogManager,
+        extensions: Mapping[str, GiSTExtension],
+        **config: object,
+    ) -> "Database":
+        """Open a database over an *empty* store + a surviving log.
+
+        The cross-process re-open path: a partition worker that was
+        killed (SIGKILL — process memory, buffer pool and unflushed log
+        tail all gone) is respawned with only the durable log records
+        its WAL shadow preserved.  Restart recovery's redo pass
+        reconstructs every page from its full WAL history onto the
+        fresh store (the same machinery that heals a torn page), and
+        undo rolls back the losers, so the recovered database is
+        exactly the durable prefix's committed state.
+
+        ``config`` must include ``page_capacity`` when the original
+        database used a non-default one — the store that persisted it
+        did not survive, so the caller (the cluster manifest) is the
+        only witness.  The :class:`~repro.wal.recovery.RecoveryReport`
+        is exposed as ``recovery_report`` on the returned database.
+        """
+        from repro.wal.records import FreePageRecord, GetPageRecord
+        from repro.wal.recovery import RestartRecovery
+
+        db = cls(log=log, **config)
+        if db.flightrec is not None:
+            db.flightrec.record("db.open_from_log", end_lsn=log.end_lsn)
+        db.recovery_report = RestartRecovery(db, extensions).run()
+        # Redo replays allocation records only from the redo point, which
+        # is enough when the allocator state survived the crash — here it
+        # did not, and a Get-Page record logged *below* the redo point
+        # would leave ``_next_pid`` behind the rebuilt pages, letting the
+        # next split re-allocate a live pid.  Replay the full allocation
+        # history (recovery's own CLRs included) in LSN order.
+        for record in log.records_from(1):
+            if isinstance(record, GetPageRecord):
+                db.store.mark_allocated(record.page_id)
+            elif isinstance(record, FreePageRecord):
+                db.store.mark_free(record.page_id)
+        return db
+
     def protocol_report(self):
         """Lockdep report (``protocol_checks=True``), else ``None``."""
         return None if self.witness is None else self.witness.report()

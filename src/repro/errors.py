@@ -134,3 +134,45 @@ class CrashError(ReproError):
 
 class ExtensionError(ReproError):
     """An access-method extension violated the GiST extension contract."""
+
+
+class ClusterError(ReproError):
+    """Base class for partitioned-database (``repro.cluster``) failures."""
+
+
+class ChannelClosedError(ClusterError):
+    """The RPC channel's peer vanished (EOF / broken pipe) mid-exchange."""
+
+
+class FrameCorruptionError(ClusterError):
+    """An RPC frame failed its length/CRC validation (torn or garbled)."""
+
+
+class PartitionFailedError(ClusterError):
+    """A partition worker died while serving a request.
+
+    The in-flight operation's outcome is unknown: its commit may or may
+    not have reached the partition's durable WAL shadow before the
+    process died.  The supervisor recovers the partition; the caller
+    decides whether to retry (idempotent reads) or surface the
+    uncertainty (writes).
+    """
+
+    def __init__(self, partition: int, message: str = "") -> None:
+        super().__init__(
+            message or f"partition {partition} failed mid-request"
+        )
+        self.partition = partition
+
+
+class WorkerFaultError(ClusterError):
+    """A worker-side exception, re-raised on the client as a typed error.
+
+    ``kind`` preserves the original exception class name so callers can
+    branch on worker-side error taxonomy without sharing tracebacks
+    across the process boundary.
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind

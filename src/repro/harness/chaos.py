@@ -73,6 +73,10 @@ class ChaosTrialResult(CrashTrialResult):
     #: (``None`` for passing trials — the black box is only shipped
     #: when there is something to diagnose)
     blackbox_path: str | None = None
+    #: partition trials: which worker was SIGKILLed (-1 otherwise)
+    killed_partition: int = -1
+    #: partition trials: supervisor respawns observed
+    partition_restarts: int = 0
 
 
 def chaos_rows(results: list[ChaosTrialResult]) -> list[dict]:
@@ -510,6 +514,176 @@ class ChaosHarness(CrashRecoveryHarness):
             self._dump_blackbox(db2, seed, result)
         return result
 
+    def run_partition_trial(
+        self,
+        seed: int,
+        *,
+        partitions: int = 3,
+        batches: int = 24,
+        batch_size: int = 8,
+    ) -> ChaosTrialResult:
+        """One seeded *cluster* trial: SIGKILL a worker mid-workload.
+
+        A :class:`~repro.cluster.PartitionedDatabase` serves a seeded
+        batched workload; at a seeded point one partition worker is
+        SIGKILLed — no flush, no goodbye — and the next operation that
+        routes to it triggers supervisor recovery from the partition's
+        WAL shadow.  The commit-LSN oracle then runs *per partition*:
+
+        * every **acknowledged** batch leg (its ack carried the commit
+          LSN and the shadow's durable LSN) keeps all of its effects on
+          its partition;
+        * the legs of the one batch in flight at the kill are "maybe" —
+          each may be present or absent, but never torn;
+        * the recovered partition's log end covers every durable LSN it
+          ever acknowledged, and every partition passes the structural
+          check.
+        """
+        from repro.cluster import PartitionedDatabase
+
+        rng = random.Random(seed ^ 0x9A57171)
+        result = ChaosTrialResult(seed=seed)
+        cluster = PartitionedDatabase(
+            partitions,
+            router="hash",
+            page_capacity=self.page_capacity,
+            protocol_checks=self.protocol_checks or None,
+        )
+        try:
+            cluster.create_tree("chaos", self.extension)
+            router = cluster.router
+            #: per-partition acked effects: partition -> {rid: key}
+            expected: list[dict] = [{} for _ in range(partitions)]
+            #: rids whose final state is unknowable (in flight at kill)
+            maybe: set[object] = set()
+            #: per-partition highest acknowledged durable LSN
+            acked_durable = [0] * partitions
+            kill_at = rng.randrange(batches // 4, (3 * batches) // 4)
+            victim = rng.randrange(partitions)
+            result.killed_partition = victim
+            counter = 0
+
+            for b in range(batches):
+                if b == kill_at:
+                    cluster.kill_partition(victim)
+                ops = []
+                acked_rids: list[object] = [
+                    rid
+                    for per in expected
+                    for rid in per
+                    if rid not in maybe
+                ]
+                for _ in range(batch_size):
+                    deletable = [
+                        rid
+                        for rid in acked_rids
+                        if rid not in {op[2] for op in ops}
+                    ]
+                    if deletable and rng.random() < 0.25:
+                        rid = rng.choice(deletable)
+                        key = next(
+                            per[rid] for per in expected if rid in per
+                        )
+                        ops.append(("delete", key, rid))
+                    else:
+                        counter += 1
+                        key = rng.randrange(self.key_space)
+                        ops.append(("put", key, f"s{seed}-p{counter}"))
+                try:
+                    acks = cluster.apply_batch("chaos", ops)
+                except Exception as exc:
+                    # worker death mid-batch: acked legs are durable,
+                    # un-acked legs are "maybe"
+                    acks = getattr(exc, "acked", {})
+                    for op in ops:
+                        p = router.partition_of(op[1])
+                        if p not in acks:
+                            maybe.add(op[2])
+                self._apply_partition_acks(
+                    ops, acks, router, expected, acked_durable, result
+                )
+
+            # Per-partition oracle: structure + contents + LSN cover.
+            # If no post-kill op happened to route to the victim, this
+            # scatter is what surfaces the death: the first attempt
+            # recovers the partition and fails, the retry runs clean.
+            verify_queries = {"chaos": Interval(0, self.key_space)}
+            try:
+                reports = cluster.verify(verify_queries)
+            except Exception:
+                reports = cluster.verify(verify_queries)
+            handle = cluster.supervisor.handles[victim]
+            result.partition_restarts = cluster.supervisor.restarts
+            result.recovered_ok = (
+                result.partition_restarts > 0
+                and handle.ready_info.get("recovered") is not None
+            )
+            result.structure_ok = True
+            result.contents_match = True
+            for p, report in sorted(reports.items()):
+                tree_report = report["trees"]["chaos"]
+                if not tree_report["ok"]:
+                    result.structure_ok = False
+                    result.errors.extend(
+                        f"partition {p}: {e}"
+                        for e in tree_report["errors"]
+                    )
+                if report["end_lsn"] < acked_durable[p]:
+                    result.contents_match = False
+                    result.errors.append(
+                        f"partition {p}: recovered end_lsn "
+                        f"{report['end_lsn']} < acked durable LSN "
+                        f"{acked_durable[p]}"
+                    )
+                found = {
+                    rid: key for key, rid in tree_report["contents"]
+                }
+                for rid, key in expected[p].items():
+                    if rid in maybe:
+                        continue
+                    if found.get(rid) != key:
+                        result.contents_match = False
+                        result.errors.append(
+                            f"partition {p}: acked {rid!r} -> {key!r} "
+                            f"missing (got {found.get(rid)!r})"
+                        )
+                for rid in found:
+                    if rid not in expected[p] and rid not in maybe:
+                        result.contents_match = False
+                        result.errors.append(
+                            f"partition {p}: unexpected rid {rid!r}"
+                        )
+        finally:
+            cluster.shutdown()
+        return result
+
+    @staticmethod
+    def _apply_partition_acks(
+        ops: list,
+        acks: dict,
+        router,
+        expected: list[dict],
+        acked_durable: list[int],
+        result: ChaosTrialResult,
+    ) -> None:
+        """Fold acknowledged batch legs into the per-partition oracle."""
+        for op in ops:
+            p = router.partition_of(op[1])
+            if p not in acks:
+                continue
+            if op[0] == "put":
+                expected[p][op[2]] = op[1]
+            else:
+                expected[p].pop(op[2], None)
+        for p, ack in acks.items():
+            result.committed_txns += 1
+            acked_durable[p] = max(acked_durable[p], ack["durable_lsn"])
+            if ack["commit_lsn"] > ack["durable_lsn"]:
+                result.errors.append(
+                    f"partition {p}: ack commit_lsn {ack['commit_lsn']} "
+                    f"above durable_lsn {ack['durable_lsn']}"
+                )
+
     def _dump_blackbox(
         self, db: Database, seed: int, result: ChaosTrialResult
     ) -> None:
@@ -583,6 +757,14 @@ def main(argv: list[str] | None = None) -> int:
         "multi_put / multi_delete) that crash mid-batch-operation",
     )
     parser.add_argument(
+        "--partition-trials",
+        type=int,
+        default=0,
+        help="additional trials against a PartitionedDatabase that "
+        "SIGKILL one partition worker mid-workload, recover it from "
+        "its WAL shadow, and check the commit-LSN oracle per partition",
+    )
+    parser.add_argument(
         "--protocol-checks",
         action="store_true",
         help="attach the lockdep witness to every trial; any hard "
@@ -607,6 +789,8 @@ def main(argv: list[str] | None = None) -> int:
         results.append(harness.run_trial(seed, crash_mid_smo=mid_smo))
     for i in range(args.batch_trials):
         results.append(harness.run_batch_trial(args.base_seed + i))
+    for i in range(args.partition_trials):
+        results.append(harness.run_partition_trial(args.base_seed + i))
 
     print(render_table(chaos_rows(results), title="chaos trials"))
     # protocol violations fail the run even though the recovery oracle

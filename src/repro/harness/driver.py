@@ -275,6 +275,125 @@ class TransactionalDriver:
             pass  # lint: allow(swallowed-fault): best-effort rollback; the op already failed
 
 
+class ClusterDriver:
+    """Run an op stream against a :class:`PartitionedDatabase`.
+
+    Client threads issue routed operations concurrently; a
+    :class:`~repro.errors.PartitionFailedError` (worker died mid-call;
+    the supervisor already respawned it) is retried like a deadlock
+    abort.  Retried writes are at-least-once — the failed call's
+    effects may have committed before the kill — which matches the
+    cluster's documented "maybe" semantics for in-flight-at-kill
+    operations, and the chaos oracle accounts for it.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        tree_name: str,
+        *,
+        max_retries: int = 10,
+    ) -> None:
+        self.cluster = cluster
+        self.tree_name = tree_name
+        self.max_retries = max_retries
+
+    def preload(self, ops: Sequence[Op]) -> None:
+        """Apply a pure-insert prefix as one batched scatter."""
+        self.cluster.multi_put(
+            self.tree_name, [(op.key, op.rid) for op in ops]
+        )
+
+    def run(self, ops: Sequence[Op], threads: int) -> DriverMetrics:
+        """Execute and return the collected metrics."""
+        from repro.errors import PartitionFailedError
+
+        metrics = DriverMetrics(protocol="cluster", threads=threads)
+        buckets = partition_ops(ops, threads)
+        lock = threading.Lock()
+
+        def worker_for(bucket: list[Op]):
+            def work(barrier: threading.Barrier) -> None:
+                barrier.wait()
+                local_lat: list[float] = []
+                commits = aborts = done = 0
+                for op in bucket:
+                    failures = [0]
+
+                    def attempt(op=op) -> float:
+                        start = time.perf_counter()
+                        self._apply(op)
+                        return time.perf_counter() - start
+
+                    def count_abort(
+                        attempt_no: int, exc: BaseException, f=failures
+                    ) -> None:
+                        f[0] += 1
+
+                    try:
+                        latency = run_with_retry(
+                            attempt,
+                            attempts=self.max_retries + 1,
+                            retryable=(PartitionFailedError,),
+                            on_retry=count_abort,
+                        )
+                        local_lat.append(latency)
+                        commits += 1
+                        done += 1
+                    except PartitionFailedError:
+                        pass  # op abandoned after exhausting retries
+                    aborts += failures[0]
+                with lock:
+                    metrics.ops += done
+                    metrics.commits += commits
+                    metrics.aborts += aborts
+                    metrics.latencies.extend(local_lat)
+
+            return work
+
+        workers = [worker_for(bucket) for bucket in buckets if bucket]
+        metrics.threads = len(workers)
+        metrics.elapsed = _run_threads(workers)
+        snapshot = self.cluster.snapshot()
+        cluster_section = snapshot["cluster"].get("cluster", {})
+        metrics.extra = {
+            "partitions": self.cluster.partitions,
+            "routed_ops": cluster_section.get("routed_ops", 0),
+            "scatter_queries": cluster_section.get("scatter_queries", 0),
+            "worker_restarts": cluster_section.get("worker_restarts", 0),
+        }
+        metrics.metrics_snapshot = snapshot
+        return metrics
+
+    def _apply(self, op: Op) -> None:
+        from repro.errors import KeyNotFoundError, WorkerFaultError
+
+        cluster, tree = self.cluster, self.tree_name
+        if op.kind == "insert":
+            cluster.put(tree, op.key, op.rid)
+        elif op.kind == "delete":
+            try:
+                cluster.delete(tree, op.key, op.rid)
+            except WorkerFaultError as exc:
+                # a retried kill-window delete may have applied already
+                if exc.kind != KeyNotFoundError.__name__:
+                    raise
+        elif op.kind == "search":
+            cluster.search(tree, op.query)
+        elif op.kind == "multi_put":
+            cluster.multi_put(tree, op.pairs)
+        elif op.kind == "multi_get":
+            cluster.multi_get(tree, op.keys)
+        elif op.kind == "multi_delete":
+            try:
+                cluster.multi_delete(tree, op.pairs)
+            except WorkerFaultError as exc:
+                if exc.kind != KeyNotFoundError.__name__:
+                    raise
+        else:
+            raise ValueError(f"unknown op kind {op.kind!r}")
+
+
 class BaselineDriver:
     """Run an op stream against a non-transactional baseline tree."""
 

@@ -36,6 +36,7 @@ __all__ = [
     "LatchTimer",
     "MetricsRegistry",
     "DEFAULT_NS_BUCKETS",
+    "merge_snapshots",
 ]
 
 #: Default histogram bucket upper bounds, in nanoseconds: half-decade
@@ -427,3 +428,40 @@ def _assign(tree: dict, dotted: str, value: object) -> None:
             nxt = node[part] = {}
         node = nxt
     node[parts[-1]] = value
+
+
+def merge_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Sum a sequence of nested metric snapshots into one aggregate.
+
+    The cluster front end gathers one ``db.metrics.snapshot()`` per
+    partition worker; this folds them into a single cluster-wide view:
+    numeric leaves are summed, nested dicts are merged recursively, and
+    non-numeric leaves (labels, paths) keep the first value seen.
+    Booleans are deliberately *not* treated as numbers — summing flags
+    across partitions would manufacture meaningless counts.
+    """
+    out: dict = {}
+    for snap in snapshots:
+        _merge_into(out, snap)
+    return out
+
+
+def _merge_into(target: dict, source: dict) -> None:
+    for key, value in source.items():
+        if isinstance(value, dict):
+            node = target.get(key)
+            if not isinstance(node, dict):
+                node = target[key] = {}
+            _merge_into(node, value)
+        elif isinstance(value, (int, float)) and not isinstance(
+            value, bool
+        ):
+            prior = target.get(key, 0)
+            if isinstance(prior, (int, float)) and not isinstance(
+                prior, bool
+            ):
+                target[key] = prior + value
+            else:
+                target[key] = value
+        else:
+            target.setdefault(key, value)

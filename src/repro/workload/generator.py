@@ -98,6 +98,97 @@ class ScalarKeys:
         return Interval(lo, lo + width)
 
 
+class PartitionRoutedKeys:
+    """Scalar keys with *partition-aware* placement skew.
+
+    Wraps a cluster :class:`~repro.cluster.router.Router` so workloads
+    can control which partition each key lands on, independently of the
+    key-value distribution:
+
+    * ``routing="uniform"`` — every partition receives the same share
+      of traffic (the balanced baseline),
+    * ``routing="zipf"`` — partition popularity is Zipf-skewed
+      (partition 0 hottest), making hot-partition imbalance a
+      *measurable input* instead of an accident of hashing.
+
+    Keys are drawn from the underlying uniform key space and
+    rejection-sampled until the router places them on the drawn target
+    partition — so the stream stays deterministic (seeded) and the
+    router stays the single source of placement truth.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        router,
+        key_space: int = 1_000_000,
+        routing: str = "uniform",
+        zipf_s: float = 1.2,
+        max_rejects: int = 10_000,
+    ) -> None:
+        if routing not in ("uniform", "zipf"):
+            raise ValueError(f"unknown routing {routing!r}")
+        self._rng = random.Random(seed)
+        self.router = router
+        self.key_space = key_space
+        self.routing = routing
+        self._max_rejects = max_rejects
+        weights = [
+            1.0 / (rank**zipf_s) for rank in range(1, router.partitions + 1)
+        ]
+        total = sum(weights)
+        self._weights = [w / total for w in weights]
+
+    def next_partition(self) -> int:
+        """Draw the next *target* partition from the routing skew."""
+        if self.routing == "uniform":
+            return self._rng.randrange(self.router.partitions)
+        u = self._rng.random()
+        acc = 0.0
+        for p, w in enumerate(self._weights):
+            acc += w
+            if u < acc:
+                return p
+        return self.router.partitions - 1
+
+    def next_key(self) -> int:
+        """Draw a key owned by the next target partition."""
+        target = self.next_partition()
+        for _ in range(self._max_rejects):
+            key = self._rng.randrange(self.key_space)
+            if self.router.partition_of(key) == target:
+                return key
+        raise ValueError(  # pragma: no cover - needs a degenerate router
+            f"no key for partition {target} in {self._max_rejects} draws"
+        )
+
+    def range_query(self, selectivity: float = 0.01) -> Interval:
+        """A random interval covering ``selectivity`` of the key space."""
+        width = max(1, int(self.key_space * selectivity))
+        lo = self._rng.randrange(max(1, self.key_space - width))
+        return Interval(lo, lo + width)
+
+
+def partition_histogram(ops: "Sequence[Op]", router) -> list[int]:
+    """Per-partition routed-key counts for an op stream.
+
+    Counts every routed key, including the members of batched ops
+    (``pairs`` / ``keys``); searches route nowhere (they scatter) and
+    are not counted.  The benchmark uses this to report imbalance —
+    ``max/mean`` of the returned histogram — under uniform vs
+    Zipf-skewed routing.
+    """
+    counts = [0] * router.partitions
+    for op in ops:
+        if op.key is not None:
+            counts[router.partition_of(op.key)] += 1
+        for key, _rid in op.pairs:
+            counts[router.partition_of(key)] += 1
+        for key in op.keys:
+            counts[router.partition_of(key)] += 1
+    return counts
+
+
 # ---------------------------------------------------------------------------
 # rectangles
 # ---------------------------------------------------------------------------
@@ -224,8 +315,12 @@ class ScalarWorkload:
         distribution: str = "uniform",
         selectivity: float = 0.005,
         batch_size: int = 16,
+        key_source=None,
     ) -> None:
-        self.keys = ScalarKeys(seed, key_space, distribution)
+        #: ``key_source`` overrides the default :class:`ScalarKeys` —
+        #: pass a :class:`PartitionRoutedKeys` to give the stream
+        #: partition-aware placement skew
+        self.keys = key_source or ScalarKeys(seed, key_space, distribution)
         self._rng = random.Random(seed ^ 0x5EED)
         self.mix = mix or MixSpec()
         self.selectivity = selectivity

@@ -134,3 +134,59 @@ class TestWalPipelineKnobs:
         db2.commit(txn)
         assert got == set(range(40))
         db2.shutdown()
+
+
+class TestPartitionKnobs:
+    """Cluster topology and database knobs across a cluster re-open."""
+
+    def _cluster(self, **kwargs):
+        from repro.cluster import PartitionedDatabase
+
+        cluster = PartitionedDatabase(**kwargs)
+        cluster.create_tree("t", BTreeExtension())
+        cluster.multi_put("t", [(i, f"r{i}") for i in range(30)])
+        return cluster
+
+    def test_partitions_and_router_survive_restart(self):
+        cluster = self._cluster(
+            partitions=3, router="range:1000", page_capacity=16
+        )
+        reopened = cluster.restart()
+        try:
+            assert reopened.partitions == 3
+            assert reopened.router.kind == "range"
+            assert reopened.router.boundaries == [333, 666]
+            rows = reopened.search("t", Interval(0, 30))
+            assert [k for k, _ in rows] == list(range(30))
+        finally:
+            reopened.shutdown()
+
+    def test_db_knobs_propagate_to_every_worker(self):
+        cluster = self._cluster(
+            partitions=2, page_capacity=16, leaf_hints=True
+        )
+        reopened = cluster.restart()
+        try:
+            for info in reopened.describe().values():
+                assert info["page_capacity"] == 16
+                assert info["leaf_hints"] is True
+        finally:
+            reopened.shutdown()
+
+    def test_explicit_reopen_override_wins(self):
+        cluster = self._cluster(partitions=2, page_capacity=16)
+        reopened = cluster.restart(leaf_hints=True)
+        try:
+            for info in reopened.describe().values():
+                assert info["page_capacity"] == 16  # propagated
+                assert info["leaf_hints"] is True  # overridden
+            # and the override itself now propagates onward
+            again = reopened.restart()
+            try:
+                for info in again.describe().values():
+                    assert info["leaf_hints"] is True
+            finally:
+                again.shutdown()
+        finally:
+            if not reopened._closed:
+                reopened.shutdown()
