@@ -1,0 +1,173 @@
+"""Per-partition circuit breakers: fail fast instead of stalling.
+
+A hung partition is worse than a dead one.  A dead worker's socket
+reaches EOF immediately and the supervisor respawns it; a *hung* worker
+(SIGSTOPped, livelocked, swapping) answers nothing and, without a
+breaker, every call routed to it blocks until its RPC deadline — and
+every one of those calls holds the partition's channel mutex, so the
+stall compounds.  The breaker turns that into a bounded failure:
+
+* **CLOSED** — normal operation.  Failures (worker death, RPC timeout)
+  increment a consecutive-failure count; at ``threshold`` the breaker
+  opens.  An RPC *timeout* trips the breaker immediately regardless of
+  the count: a worker that missed its deadline has already been killed
+  (the channel is poisoned), and recovery is deferred to the probe
+  below so callers of healthy partitions never wait behind it.
+* **OPEN** — calls fail fast with
+  :class:`~repro.errors.CircuitOpenError` carrying ``retry_after``,
+  *without* touching the partition lock.  After ``cooldown`` seconds
+  the next caller is admitted as the half-open probe.
+* **HALF_OPEN** — exactly one probe call is in flight (it performs the
+  deferred supervisor recovery, then a real RPC).  Success closes the
+  breaker; failure re-opens it for another cooldown.
+
+The state machine is documented in DESIGN.md §14.  Clocks are
+injectable so the unit tests are wall-clock-free.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.errors import CircuitOpenError
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState:
+    """Breaker states (plain strings: they travel through snapshots)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One partition's failure gate (see module docstring).
+
+    Parameters
+    ----------
+    partition:
+        Partition index, embedded in raised errors and snapshots.
+    threshold:
+        Consecutive non-timeout failures that open the breaker.
+    cooldown:
+        Seconds an open breaker rejects before admitting a probe.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        partition: int,
+        *,
+        threshold: int = 3,
+        cooldown: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        self.partition = partition
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        #: lifetime number of CLOSED/HALF_OPEN -> OPEN transitions
+        self.trips = 0
+        #: lifetime number of calls rejected while open
+        self.rejections = 0
+
+    # ------------------------------------------------------------------
+    # call-path gate
+    # ------------------------------------------------------------------
+    def check(self) -> bool:
+        """Admit or reject the calling request.
+
+        Returns ``True`` when the caller is the half-open *probe* (it
+        should recover the partition before issuing its RPC), ``False``
+        for a normal closed-state call.  Raises
+        :class:`~repro.errors.CircuitOpenError` when the breaker is
+        open (or a probe is already in flight).
+        """
+        with self._lock:
+            if self._state == BreakerState.CLOSED:
+                return False
+            if self._state == BreakerState.OPEN:
+                elapsed = self._clock() - self._opened_at
+                if elapsed >= self.cooldown:
+                    # this caller claims the single probe slot
+                    self._state = BreakerState.HALF_OPEN
+                    return True
+                self.rejections += 1
+                raise CircuitOpenError(
+                    self.partition, max(0.0, self.cooldown - elapsed)
+                )
+            # HALF_OPEN: a probe is in flight; everyone else waits out
+            # (at most) one more cooldown from the original open
+            self.rejections += 1
+            raise CircuitOpenError(self.partition, self.cooldown)
+
+    # ------------------------------------------------------------------
+    # outcome reporting
+    # ------------------------------------------------------------------
+    def record_success(self) -> None:
+        """A call (probe or normal) completed: close and reset."""
+        with self._lock:
+            self._state = BreakerState.CLOSED
+            self._failures = 0
+
+    def record_failure(self, *, timeout: bool = False) -> None:
+        """A call failed.  Timeouts trip immediately; others count.
+
+        A timeout means the worker missed its deadline and was killed —
+        there is no point sending more traffic before the half-open
+        probe recovers it.  Other failures (worker death mid-call) are
+        recovered inline by the supervisor, so a single one does not
+        open the breaker; ``threshold`` consecutive ones (a crash loop)
+        do.
+        """
+        with self._lock:
+            self._failures += 1
+            if (
+                timeout
+                or self._state == BreakerState.HALF_OPEN
+                or self._failures >= self.threshold
+            ):
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self.trips += 1
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def retry_after(self) -> float:
+        """Seconds until an open breaker admits its probe (0 if not open)."""
+        with self._lock:
+            if self._state != BreakerState.OPEN:
+                return 0.0
+            return max(
+                0.0, self.cooldown - (self._clock() - self._opened_at)
+            )
+
+    def snapshot(self) -> dict:
+        """State + counters for the cluster metrics gauges."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "failures": self._failures,
+                "trips": self.trips,
+                "rejections": self.rejections,
+            }

@@ -38,19 +38,36 @@ import json
 import os
 import tempfile
 import threading
+import time
 
+from repro.cluster.breaker import CircuitBreaker
 from repro.cluster.router import Router, make_router
 from repro.cluster.supervisor import Supervisor
 from repro.cluster.worker import TreeSpec, WorkerConfig
 from repro.errors import (
     ChannelClosedError,
+    CircuitOpenError,
     ClusterError,
     PartitionFailedError,
+    PartitionTimeoutError,
+    RpcTimeoutError,
     WorkerFaultError,
 )
 from repro.obs.metrics import MetricsRegistry, merge_snapshots
 
 MANIFEST_NAME = "cluster.json"
+
+
+def _budget(deadline: float | None) -> float | None:
+    """Remaining seconds until ``deadline`` (monotonic), ``None`` = ∞.
+
+    Clamped to a tiny positive value rather than zero: a zero socket
+    timeout means non-blocking mode, which would surface as spurious
+    ``BlockingIOError`` instead of the typed timeout.
+    """
+    if deadline is None:
+        return None
+    return max(1e-6, deadline - time.monotonic())
 
 
 class PartitionedDatabase:
@@ -63,6 +80,9 @@ class PartitionedDatabase:
         router: "Router | dict | str" = "hash",
         data_dir: str | None = None,
         metrics_enabled: bool = True,
+        rpc_timeout: float | None = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 1.0,
         **db_config,
     ) -> None:
         self.partitions = partitions
@@ -75,15 +95,31 @@ class PartitionedDatabase:
             self._owns_data_dir = False
         self.data_dir = data_dir
         self.db_config = dict(db_config)
+        #: default per-call RPC deadline (``None``: wait forever, the
+        #: pre-serving behavior); individual calls may override
+        self.rpc_timeout = rpc_timeout
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
         #: tree name -> TreeSpec (the parent-side catalog mirror)
         self.catalog: dict[str, TreeSpec] = {}
         self.metrics = MetricsRegistry(enabled=metrics_enabled)
         self._req_ids = itertools.count(1)
         self._locks = [threading.Lock() for _ in range(partitions)]
+        self._breakers = self._make_breakers()
         self._closed = False
         self.supervisor = Supervisor(partitions, self._config_factory)
         self._register_gauges()
         self._write_manifest()
+
+    def _make_breakers(self) -> "list[CircuitBreaker]":
+        return [
+            CircuitBreaker(
+                p,
+                threshold=self.breaker_threshold,
+                cooldown=self.breaker_cooldown,
+            )
+            for p in range(self.partitions)
+        ]
 
     # ------------------------------------------------------------------
     # construction plumbing
@@ -121,6 +157,10 @@ class PartitionedDatabase:
                 for h in self.supervisor.handles.values()
             ),
         )
+        for p, breaker in enumerate(self._breakers):
+            self.metrics.gauge(
+                f"cluster.breaker.{p}", breaker.snapshot
+            )
 
     def _write_manifest(self) -> None:
         """Persist what a re-open cannot rediscover: topology + knobs.
@@ -132,6 +172,11 @@ class PartitionedDatabase:
         manifest = {
             "partitions": self.partitions,
             "router": self.router.spec(),
+            "rpc": {
+                "timeout": self.rpc_timeout,
+                "breaker_threshold": self.breaker_threshold,
+                "breaker_cooldown": self.breaker_cooldown,
+            },
             "db_config": {
                 k: v
                 for k, v in self.db_config.items()
@@ -168,6 +213,14 @@ class PartitionedDatabase:
         """
         with open(os.path.join(data_dir, MANIFEST_NAME)) as fh:
             manifest = json.load(fh)
+        rpc = dict(manifest.get("rpc", {}))
+        rpc_timeout = overrides.pop("rpc_timeout", rpc.get("timeout"))
+        breaker_threshold = overrides.pop(
+            "breaker_threshold", rpc.get("breaker_threshold", 3)
+        )
+        breaker_cooldown = overrides.pop(
+            "breaker_cooldown", rpc.get("breaker_cooldown", 1.0)
+        )
         db_config = dict(manifest["db_config"])
         db_config.update(overrides)
         cluster = cls.__new__(cls)
@@ -178,6 +231,9 @@ class PartitionedDatabase:
         cluster.data_dir = data_dir
         cluster._owns_data_dir = False
         cluster.db_config = db_config
+        cluster.rpc_timeout = rpc_timeout
+        cluster.breaker_threshold = breaker_threshold
+        cluster.breaker_cooldown = breaker_cooldown
         cluster.catalog = {
             name: TreeSpec(
                 extension=extensions[name],
@@ -193,6 +249,7 @@ class PartitionedDatabase:
         cluster._locks = [
             threading.Lock() for _ in range(cluster.partitions)
         ]
+        cluster._breakers = cluster._make_breakers()
         cluster._closed = False
         cluster.supervisor = Supervisor(
             cluster.partitions,
@@ -223,7 +280,13 @@ class PartitionedDatabase:
     # ------------------------------------------------------------------
     # RPC plumbing
     # ------------------------------------------------------------------
-    def _send_on(self, partition: int, method: str, payload: object) -> int:
+    def _send_on(
+        self,
+        partition: int,
+        method: str,
+        payload: object,
+        deadline: float | None = None,
+    ) -> int:
         handle = self.supervisor.handle(partition)
         if handle.dead:
             # death already detected (e.g. an explicit chaos kill):
@@ -231,15 +294,21 @@ class PartitionedDatabase:
             self._on_worker_death(partition)
         req_id = next(self._req_ids)
         try:
-            handle.channel.send((req_id, method, payload))
+            handle.channel.send(
+                (req_id, method, payload), timeout=_budget(deadline)
+            )
         except ChannelClosedError:
             self._on_worker_death(partition)
         return req_id
 
-    def _recv_on(self, partition: int, req_id: int) -> object:
+    def _recv_on(
+        self, partition: int, req_id: int, deadline: float | None = None
+    ) -> object:
         handle = self.supervisor.handle(partition)
         try:
-            got_id, ok, payload = handle.channel.recv()
+            got_id, ok, payload = handle.channel.recv(
+                timeout=_budget(deadline)
+            )
         except ChannelClosedError:
             self._on_worker_death(partition)
         if got_id != req_id:  # pragma: no cover - strict req/resp pairing
@@ -267,12 +336,76 @@ class PartitionedDatabase:
             self.supervisor.recover(partition)
         raise PartitionFailedError(partition)
 
-    def _call(self, partition: int, method: str, payload: object) -> object:
-        with self._locks[partition]:
-            req_id = self._send_on(partition, method, payload)
-            return self._recv_on(partition, req_id)
+    def _on_worker_timeout(self, partition: int, timeout: float) -> "None":
+        """A partition missed its deadline: kill it, trip its breaker.
 
-    def _scatter(self, targets: "list[int]", requests: dict) -> dict:
+        Unlike :meth:`_on_worker_death` (EOF — fast, recover inline)
+        the hung worker's recovery is *deferred* to the breaker's
+        half-open probe: replaying the WAL shadow takes time, and doing
+        it here, under the partition lock, would stall every caller
+        already queued behind this one — exactly the collapse the
+        serving layer exists to prevent.  The SIGKILL is mandatory
+        either way: after a timeout the channel may still carry the
+        late response, so it can never be reused.
+        """
+        self.metrics.counter("cluster.rpc.timeouts").inc()
+        self.metrics.counter(
+            f"cluster.partition.{partition}.rpc_timeouts"
+        ).inc()
+        self.supervisor.kill(partition)
+        self._breakers[partition].record_failure(timeout=True)
+        raise PartitionTimeoutError(partition, timeout)
+
+    def _call(
+        self,
+        partition: int,
+        method: str,
+        payload: object,
+        timeout: float | None = None,
+    ) -> object:
+        """One request/response exchange, deadline- and breaker-gated.
+
+        The breaker check happens *before* the partition lock: while a
+        breaker is open its partition's traffic fails fast without
+        queueing on the mutex, so a hung partition cannot pile up
+        callers.  The winning half-open probe performs the deferred
+        recovery before issuing its RPC.
+        """
+        timeout = self.rpc_timeout if timeout is None else timeout
+        breaker = self._breakers[partition]
+        probe = breaker.check()
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._locks[partition]:
+            if probe:
+                try:
+                    self.supervisor.ensure(partition)
+                except Exception:
+                    breaker.record_failure()  # re-open, never wedge
+                    raise
+            try:
+                req_id = self._send_on(
+                    partition, method, payload, deadline
+                )
+                result = self._recv_on(partition, req_id, deadline)
+            except RpcTimeoutError:
+                self._on_worker_timeout(partition, timeout)
+            except WorkerFaultError:
+                breaker.record_success()  # the worker answered
+                raise
+            except PartitionFailedError:
+                breaker.record_failure()
+                raise
+            breaker.record_success()
+            return result
+
+    def _scatter(
+        self,
+        targets: "list[int]",
+        requests: dict,
+        timeout: float | None = None,
+    ) -> dict:
         """Pipelined fan-out: send every leg, then collect every ack.
 
         ``requests`` maps partition -> (method, payload).  Locks are
@@ -280,37 +413,89 @@ class PartitionedDatabase:
         across the whole exchange.  On a leg failure the error carries
         the already-acknowledged legs in ``.acked`` so a caller (the
         chaos harness) can still account for what committed.
+
+        ``timeout`` bounds each *leg* independently (send and receive
+        each get a fresh budget): one hung partition costs its own
+        deadline, never a healthy sibling's — a shared budget would let
+        a stalled first leg eat the whole window and get responsive
+        legs killed as collateral.  Legs whose breaker is open fail
+        fast without sending.
         """
+        timeout = self.rpc_timeout if timeout is None else timeout
         targets = sorted(targets)
+        probes: dict[int, bool] = {}
+        admitted: "list[int]" = []
+        failures: list[Exception] = []
         for p in targets:
+            try:
+                probes[p] = self._breakers[p].check()
+                admitted.append(p)
+            except CircuitOpenError as exc:
+                failures.append(exc)
+        for p in admitted:
             self._locks[p].acquire()
         try:
             sent: dict[int, int] = {}
             acked: dict[int, object] = {}
-            failures: list[Exception] = []
             # Collect-all semantics: a failed leg must not strand the
             # other legs' responses in their socket buffers (a later
             # request would then read a stale frame and desync the
             # req/resp pairing), so every successfully-sent leg is
             # received even after a failure is recorded.
-            for p in targets:
+            for p in admitted:
                 method, payload = requests[p]
+                if probes[p]:
+                    try:
+                        self.supervisor.ensure(p)
+                    except Exception as exc:
+                        self._breakers[p].record_failure()  # re-open
+                        if isinstance(exc, PartitionFailedError):
+                            failures.append(exc)
+                            continue
+                        raise
+                deadline = (
+                    None
+                    if timeout is None
+                    else time.monotonic() + timeout
+                )
                 try:
-                    sent[p] = self._send_on(p, method, payload)
-                except (PartitionFailedError, WorkerFaultError) as exc:
+                    sent[p] = self._send_on(p, method, payload, deadline)
+                except RpcTimeoutError:
+                    try:
+                        self._on_worker_timeout(p, timeout)
+                    except PartitionFailedError as exc:
+                        failures.append(exc)
+                except PartitionFailedError as exc:
+                    self._breakers[p].record_failure()
                     failures.append(exc)
             for p, req_id in sent.items():
+                deadline = (
+                    None
+                    if timeout is None
+                    else time.monotonic() + timeout
+                )
                 try:
-                    acked[p] = self._recv_on(p, req_id)
-                except (PartitionFailedError, WorkerFaultError) as exc:
+                    acked[p] = self._recv_on(p, req_id, deadline)
+                except RpcTimeoutError:
+                    try:
+                        self._on_worker_timeout(p, timeout)
+                    except PartitionFailedError as exc:
+                        failures.append(exc)
+                except WorkerFaultError as exc:
+                    self._breakers[p].record_success()
                     failures.append(exc)
+                except PartitionFailedError as exc:
+                    self._breakers[p].record_failure()
+                    failures.append(exc)
+                else:
+                    self._breakers[p].record_success()
             if failures:
                 exc = failures[0]
                 exc.acked = acked
                 raise exc
             return acked
         finally:
-            for p in targets:
+            for p in admitted:
                 self._locks[p].release()
 
     # ------------------------------------------------------------------
@@ -351,21 +536,39 @@ class PartitionedDatabase:
         ).inc()
         return partition
 
-    def put(self, tree: str, key: object, rid: object) -> dict:
+    def put(
+        self,
+        tree: str,
+        key: object,
+        rid: object,
+        timeout: float | None = None,
+    ) -> dict:
         """Insert on the owning partition; the ack is the durability
         receipt (commit LSN + shadowed LSN) the oracle audits."""
         partition = self._routed(key)
-        return self._call(partition, "batch", (tree, [("put", key, rid)]))
+        return self._call(
+            partition, "batch", (tree, [("put", key, rid)]), timeout
+        )
 
-    def get(self, tree: str, key: object) -> list:
+    def get(
+        self, tree: str, key: object, timeout: float | None = None
+    ) -> list:
         partition = self._routed(key)
-        ack = self._call(partition, "batch", (tree, [("get", key)]))
+        ack = self._call(
+            partition, "batch", (tree, [("get", key)]), timeout
+        )
         return ack["results"][0]
 
-    def delete(self, tree: str, key: object, rid: object) -> dict:
+    def delete(
+        self,
+        tree: str,
+        key: object,
+        rid: object,
+        timeout: float | None = None,
+    ) -> dict:
         partition = self._routed(key)
         return self._call(
-            partition, "batch", (tree, [("delete", key, rid)])
+            partition, "batch", (tree, [("delete", key, rid)]), timeout
         )
 
     # ------------------------------------------------------------------
@@ -377,7 +580,12 @@ class PartitionedDatabase:
             grouped.setdefault(self._routed(key), []).append((key, rid))
         return grouped
 
-    def apply_batch(self, tree: str, ops: "list[tuple]") -> dict:
+    def apply_batch(
+        self,
+        tree: str,
+        ops: "list[tuple]",
+        timeout: float | None = None,
+    ) -> dict:
         """Route a mixed op batch and scatter it; ``{partition: ack}``.
 
         Each op is a worker batch tuple (``("put", k, r)``,
@@ -393,9 +601,12 @@ class PartitionedDatabase:
         return self._scatter(
             list(grouped),
             {p: ("batch", (tree, batch)) for p, batch in grouped.items()},
+            timeout,
         )
 
-    def multi_put(self, tree: str, pairs) -> int:
+    def multi_put(
+        self, tree: str, pairs, timeout: float | None = None
+    ) -> int:
         """Batched insert, grouped by owner; returns pairs inserted."""
         grouped = self._group_pairs(pairs)
         acks = self._scatter(
@@ -404,10 +615,13 @@ class PartitionedDatabase:
                 p: ("batch", (tree, [("put_many", chunk)]))
                 for p, chunk in grouped.items()
             },
+            timeout,
         )
         return sum(ack["results"][0] for ack in acks.values())
 
-    def multi_delete(self, tree: str, pairs) -> int:
+    def multi_delete(
+        self, tree: str, pairs, timeout: float | None = None
+    ) -> int:
         grouped = self._group_pairs(pairs)
         acks = self._scatter(
             list(grouped),
@@ -415,10 +629,13 @@ class PartitionedDatabase:
                 p: ("batch", (tree, [("delete_many", chunk)]))
                 for p, chunk in grouped.items()
             },
+            timeout,
         )
         return sum(ack["results"][0] for ack in acks.values())
 
-    def multi_get(self, tree: str, keys) -> dict:
+    def multi_get(
+        self, tree: str, keys, timeout: float | None = None
+    ) -> dict:
         grouped: dict[int, list] = {}
         for key in keys:
             grouped.setdefault(self._routed(key), []).append(key)
@@ -428,6 +645,7 @@ class PartitionedDatabase:
                 p: ("batch", (tree, [("get_many", chunk)]))
                 for p, chunk in grouped.items()
             },
+            timeout,
         )
         merged: dict = {}
         for ack in acks.values():
@@ -437,7 +655,9 @@ class PartitionedDatabase:
     # ------------------------------------------------------------------
     # scatter-gather queries
     # ------------------------------------------------------------------
-    def search(self, tree: str, query: object) -> list:
+    def search(
+        self, tree: str, query: object, timeout: float | None = None
+    ) -> list:
         """Scatter ``query``, merge-gather one result sequence.
 
         The router prunes the fan-out when it can (range router +
@@ -453,7 +673,9 @@ class PartitionedDatabase:
         if len(targets) > 1:
             self.metrics.counter("cluster.scatter_queries").inc()
         acks = self._scatter(
-            targets, {p: ("scan", (tree, query)) for p in targets}
+            targets,
+            {p: ("scan", (tree, query)) for p in targets},
+            timeout,
         )
         legs = [acks[p] for p in sorted(acks)]
         if legs and all(ordered for ordered, _ in legs):
@@ -527,9 +749,15 @@ class PartitionedDatabase:
             self.supervisor.kill(partition)
 
     def recover_partition(self, partition: int) -> dict:
-        """Respawn a killed worker from its shadow; recovery summary."""
+        """Respawn a killed worker from its shadow; recovery summary.
+
+        Explicit recovery also closes the partition's breaker: the
+        caller (chaos harness, operator) has just done the work the
+        half-open probe exists to defer, so traffic may resume at once.
+        """
         with self._locks[partition]:
             handle = self.supervisor.recover(partition)
+            self._breakers[partition].record_success()
             return handle.ready_info
 
     # ------------------------------------------------------------------

@@ -34,9 +34,14 @@ from __future__ import annotations
 import pickle
 import socket
 import struct
+import time
 import zlib
 
-from repro.errors import ChannelClosedError, FrameCorruptionError
+from repro.errors import (
+    ChannelClosedError,
+    FrameCorruptionError,
+    RpcTimeoutError,
+)
 
 #: frame header: payload length + CRC32 over the payload
 _HEADER = struct.Struct("!II")
@@ -67,26 +72,48 @@ class FrameChannel:
     # ------------------------------------------------------------------
     # frames
     # ------------------------------------------------------------------
-    def send(self, message: object) -> None:
-        """Pickle ``message`` and write it as one framed unit."""
+    def send(self, message: object, timeout: float | None = None) -> None:
+        """Pickle ``message`` and write it as one framed unit.
+
+        ``timeout`` bounds the whole send: a peer whose socket buffer
+        is full (hung worker, reader stopped) raises
+        :class:`~repro.errors.RpcTimeoutError` instead of blocking in
+        ``sendall`` forever.  After a timeout the stream position is
+        undefined (the frame may be half-written) — the channel must be
+        closed, never reused.
+        """
         payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
         header = _HEADER.pack(len(payload), zlib.crc32(payload))
         try:
+            self._sock.settimeout(timeout)
             self._sock.sendall(header + payload)
+        except socket.timeout as exc:
+            raise RpcTimeoutError(
+                f"send exceeded {timeout:.3f}s (peer hung?)"
+            ) from exc
         except (BrokenPipeError, ConnectionResetError, OSError) as exc:
             raise ChannelClosedError(f"peer gone on send: {exc}") from exc
+        finally:
+            self._settimeout_quietly(None)
         self.frames_sent += 1
         self.bytes_sent += len(header) + len(payload)
 
-    def recv(self) -> object:
-        """Read one frame, verify its CRC and unpickle the message."""
-        header = self._recv_exact(_HEADER.size)
+    def recv(self, timeout: float | None = None) -> object:
+        """Read one frame, verify its CRC and unpickle the message.
+
+        ``timeout`` bounds the *whole* frame (header + payload), not
+        each chunk; on expiry :class:`~repro.errors.RpcTimeoutError` is
+        raised and the channel is poisoned — a half-read frame cannot
+        be resynchronized, so the caller must close it.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        header = self._recv_exact(_HEADER.size, deadline)
         length, crc = _HEADER.unpack(header)
         if length > MAX_FRAME_BYTES:
             raise FrameCorruptionError(
                 f"frame length {length} exceeds {MAX_FRAME_BYTES}"
             )
-        payload = self._recv_exact(length)
+        payload = self._recv_exact(length, deadline)
         if zlib.crc32(payload) != crc:
             raise FrameCorruptionError(
                 f"frame CRC mismatch over {length} bytes"
@@ -95,16 +122,34 @@ class FrameChannel:
         self.bytes_received += _HEADER.size + length
         return pickle.loads(payload)
 
-    def _recv_exact(self, count: int) -> bytes:
+    def _recv_exact(
+        self, count: int, deadline: float | None = None
+    ) -> bytes:
         chunks: list[bytes] = []
         remaining = count
         while remaining:
+            if deadline is not None:
+                budget = deadline - time.monotonic()
+                if budget <= 0:
+                    raise RpcTimeoutError(
+                        f"recv deadline expired with "
+                        f"{count - remaining}/{count} bytes read"
+                    )
+                self._settimeout_quietly(budget)
             try:
                 chunk = self._sock.recv(remaining)
+            except socket.timeout as exc:
+                raise RpcTimeoutError(
+                    f"recv deadline expired with "
+                    f"{count - remaining}/{count} bytes read"
+                ) from exc
             except (ConnectionResetError, OSError) as exc:
                 raise ChannelClosedError(
                     f"peer gone on recv: {exc}"
                 ) from exc
+            finally:
+                if deadline is not None:
+                    self._settimeout_quietly(None)
             if not chunk:
                 raise ChannelClosedError(
                     f"peer closed mid-frame ({count - remaining}/{count} "
@@ -113,6 +158,13 @@ class FrameChannel:
             chunks.append(chunk)
             remaining -= len(chunk)
         return b"".join(chunks)
+
+    def _settimeout_quietly(self, timeout: float | None) -> None:
+        """Reset the socket timeout; a closed socket is already fatal."""
+        try:
+            self._sock.settimeout(timeout)
+        except OSError:
+            pass  # lint: allow(swallowed-fault): socket already closed; the surrounding call surfaces it
 
     def close(self) -> None:
         """Close this endpoint (idempotent)."""

@@ -148,6 +148,17 @@ class FrameCorruptionError(ClusterError):
     """An RPC frame failed its length/CRC validation (torn or garbled)."""
 
 
+class RpcTimeoutError(ClusterError):
+    """A framed send/recv exceeded its per-call timeout.
+
+    Raised at the channel layer.  The channel is *poisoned* after a
+    timeout — a late response frame may still arrive and would desync
+    the req/resp pairing — so the caller must close it and treat the
+    peer as gone.  The partitioned front end converts this into
+    :class:`PartitionTimeoutError` after killing the hung worker.
+    """
+
+
 class PartitionFailedError(ClusterError):
     """A partition worker died while serving a request.
 
@@ -165,12 +176,96 @@ class PartitionFailedError(ClusterError):
         self.partition = partition
 
 
+class PartitionTimeoutError(PartitionFailedError):
+    """A partition missed its RPC deadline and was presumed hung.
+
+    The worker was SIGKILLed (its channel is unusable after a timeout)
+    and its circuit breaker tripped; recovery from the WAL shadow
+    happens on the breaker's half-open probe, not inline, so one hung
+    partition never stalls callers of the healthy ones.  Subclasses
+    :class:`PartitionFailedError` so retry policies treat both alike.
+    """
+
+    def __init__(self, partition: int, timeout: float) -> None:
+        super().__init__(
+            partition,
+            f"partition {partition} missed its {timeout:.3f}s deadline "
+            "(presumed hung; killed)",
+        )
+        self.timeout = timeout
+
+
+class CircuitOpenError(PartitionFailedError):
+    """A partition's circuit breaker is open: fail fast, do not RPC.
+
+    Carries ``retry_after`` — the seconds until the breaker will allow
+    a half-open probe — so callers (the serving layer) can translate
+    the fast failure into an explicit backpressure hint instead of a
+    hot retry loop.
+    """
+
+    def __init__(self, partition: int, retry_after: float) -> None:
+        super().__init__(
+            partition,
+            f"partition {partition} circuit open; retry in "
+            f"{retry_after:.3f}s",
+        )
+        self.retry_after = retry_after
+
+
 class WorkerFaultError(ClusterError):
     """A worker-side exception, re-raised on the client as a typed error.
 
     ``kind`` preserves the original exception class name so callers can
     branch on worker-side error taxonomy without sharing tracebacks
     across the process boundary.
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+
+
+class ServerError(ReproError):
+    """Base class for the network serving layer (``repro.server``)."""
+
+
+class RetryLater(ServerError):
+    """Explicit backpressure: the server shed this request, try again.
+
+    Never a silent drop — the frame carries ``retry_after``, the
+    server's hint for how long the client should back off, and
+    ``reason`` (``"rate_limit"``, ``"queue_full"``, ``"circuit_open"``,
+    ``"stopping"``) for accounting.
+    """
+
+    def __init__(self, retry_after: float, reason: str = "overload") -> None:
+        super().__init__(
+            f"server shed request ({reason}); retry in {retry_after:.3f}s"
+        )
+        self.retry_after = retry_after
+        self.reason = reason
+
+
+class DeadlineExceededError(ServerError):
+    """The request's client-stamped deadline expired before completion.
+
+    Raised server-side when expired work is shed at dequeue (before
+    wasting a descent) and client-side when the response did not arrive
+    within the deadline plus grace.
+    """
+
+
+class SessionError(ServerError):
+    """Session/connection protocol misuse (e.g. a request before hello)."""
+
+
+class RemoteOpError(ServerError):
+    """A server-side exception, re-raised on the client with its kind.
+
+    Mirrors :class:`WorkerFaultError` one layer up: ``kind`` preserves
+    the original exception class name so callers can branch on the
+    server-side error taxonomy without tracebacks crossing the wire.
     """
 
     def __init__(self, kind: str, message: str) -> None:

@@ -657,6 +657,214 @@ class ChaosHarness(CrashRecoveryHarness):
             cluster.shutdown()
         return result
 
+    def run_server_trial(
+        self,
+        seed: int,
+        *,
+        partitions: int = 2,
+        batches: int = 40,
+        batch_size: int = 4,
+    ) -> ChaosTrialResult:
+        """One seeded *serving* trial: SIGKILL the whole server mid-load.
+
+        A child process (its own process group, so the kill takes the
+        front end **and** its forked partition workers in one shot)
+        runs a cluster-backed :class:`~repro.server.DatabaseServer`
+        over an on-disk data dir.  The parent drives seeded batches
+        through a real network client, ledgering each acknowledged
+        batch's per-partition commit/durable LSNs; at a seeded point
+        it SIGKILLs the server's process group, then re-opens the
+        cluster from the surviving WAL shadows and runs the commit-LSN
+        oracle:
+
+        * every effect the *client* saw acknowledged is present;
+        * the one batch in flight at the kill is "maybe" (present or
+          absent, never torn);
+        * each partition's recovered log end covers every durable LSN
+          it ever acknowledged, and the structural check passes.
+
+        This closes the durability loop end to end: the ack the oracle
+        trusts crossed two process boundaries and a TCP socket before
+        the client ledgered it.
+        """
+        import os
+        import shutil
+        import signal
+        import tempfile
+        import time as _time
+
+        from repro.cluster import PartitionedDatabase
+        from repro.errors import ReproError
+        from repro.server.client import ReproClient
+
+        rng = random.Random(seed ^ 0x5E12E12)
+        result = ChaosTrialResult(seed=seed)
+        data_dir = tempfile.mkdtemp(prefix=f"chaos-server-{seed}-")
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # pragma: no cover - child exits via os._exit
+            os.close(read_fd)
+            try:
+                os.setsid()  # one killpg reaps server + workers
+                from repro.server import ClusterBackend, DatabaseServer
+
+                cluster = PartitionedDatabase(
+                    partitions,
+                    router="hash",
+                    data_dir=data_dir,
+                    page_capacity=self.page_capacity,
+                    protocol_checks=self.protocol_checks or None,
+                )
+                cluster.create_tree("chaos", self.extension)
+                server = DatabaseServer(
+                    ClusterBackend(cluster)
+                ).start()
+                os.write(write_fd, str(server.port).encode())
+                os.close(write_fd)
+                while True:
+                    _time.sleep(3600)
+            except BaseException:
+                os._exit(70)
+        os.close(write_fd)
+        try:
+            port_bytes = os.read(read_fd, 16)
+        finally:
+            os.close(read_fd)
+        if not port_bytes:
+            os.waitpid(pid, 0)
+            result.errors.append("server child died before listening")
+            shutil.rmtree(data_dir, ignore_errors=True)
+            return result
+        port = int(port_bytes.decode())
+
+        #: client-side acked effects, partition-agnostic (the parent
+        #: cannot route keys until it reopens the cluster)
+        acked_state: dict[object, object] = {}
+        acked_durable = [0] * partitions
+        maybe: set[object] = set()
+        kill_at = rng.randrange(batches // 4, (3 * batches) // 4)
+        counter = 0
+        killed = False
+        client = ReproClient("127.0.0.1", port, f"chaos-{seed}")
+        batch_log: list[list[tuple]] = []
+        try:
+            for b in range(batches):
+                if b == kill_at:
+                    os.killpg(pid, signal.SIGKILL)
+                    killed = True
+                ops: list[tuple] = []
+                for _ in range(batch_size):
+                    taken = {op[2] for op in ops}
+                    deletable = sorted(
+                        r for r in acked_state if r not in taken
+                    )
+                    if deletable and rng.random() < 0.25:
+                        rid = rng.choice(deletable)
+                        ops.append(("delete", acked_state[rid], rid))
+                    else:
+                        counter += 1
+                        ops.append(
+                            (
+                                "put",
+                                rng.randrange(self.key_space),
+                                f"s{seed}-v{counter}",
+                            )
+                        )
+                try:
+                    ack = client.batch("chaos", ops, timeout=10.0)
+                except (ReproError, OSError):
+                    # the kill (or its wake) ate this batch: every
+                    # op in it is "maybe", and the session is done
+                    maybe.update(op[2] for op in ops)
+                    break
+                batch_log.append(ops)
+                result.committed_txns += 1
+                for op in ops:
+                    if op[0] == "put":
+                        acked_state[op[2]] = op[1]
+                    else:
+                        acked_state.pop(op[2], None)
+                for p_str, durable in ack["durable_lsn"].items():
+                    p = int(p_str)
+                    acked_durable[p] = max(acked_durable[p], durable)
+                    if ack["commit_lsn"][p_str] > durable:
+                        result.errors.append(
+                            f"partition {p}: ack commit_lsn above "
+                            f"durable_lsn"
+                        )
+        finally:
+            client.close()
+            if not killed:
+                os.killpg(pid, signal.SIGKILL)
+            os.waitpid(pid, 0)
+
+        # Re-open from the shadows and run the per-partition oracle.
+        try:
+            cluster = PartitionedDatabase.open(
+                data_dir, {"chaos": self.extension}
+            )
+        except Exception as exc:
+            result.errors.append(f"cluster reopen failed: {exc!r}")
+            shutil.rmtree(data_dir, ignore_errors=True)
+            return result
+        try:
+            result.recovered_ok = True
+            result.partition_restarts = partitions
+            router = cluster.router
+            #: per-partition acked effects, folded now that the
+            #: reopened cluster's router can place each key
+            expected: list[dict] = [{} for _ in range(partitions)]
+            for ops in batch_log:
+                for op in ops:
+                    p = router.partition_of(op[1])
+                    if op[0] == "put":
+                        expected[p][op[2]] = op[1]
+                    else:
+                        expected[p].pop(op[2], None)
+            reports = cluster.verify(
+                {"chaos": Interval(0, self.key_space)}
+            )
+            result.structure_ok = True
+            result.contents_match = True
+            for p, report in sorted(reports.items()):
+                tree_report = report["trees"]["chaos"]
+                if not tree_report["ok"]:
+                    result.structure_ok = False
+                    result.errors.extend(
+                        f"partition {p}: {e}"
+                        for e in tree_report["errors"]
+                    )
+                if report["end_lsn"] < acked_durable[p]:
+                    result.contents_match = False
+                    result.errors.append(
+                        f"partition {p}: recovered end_lsn "
+                        f"{report['end_lsn']} < acked durable LSN "
+                        f"{acked_durable[p]}"
+                    )
+                found = {
+                    rid: key for key, rid in tree_report["contents"]
+                }
+                for rid, key in expected[p].items():
+                    if rid in maybe:
+                        continue
+                    if found.get(rid) != key:
+                        result.contents_match = False
+                        result.errors.append(
+                            f"partition {p}: acked {rid!r} -> "
+                            f"{key!r} missing "
+                            f"(got {found.get(rid)!r})"
+                        )
+                for rid in found:
+                    if rid not in expected[p] and rid not in maybe:
+                        result.contents_match = False
+                        result.errors.append(
+                            f"partition {p}: unexpected rid {rid!r}"
+                        )
+        finally:
+            cluster.shutdown()
+            shutil.rmtree(data_dir, ignore_errors=True)
+        return result
+
     @staticmethod
     def _apply_partition_acks(
         ops: list,
@@ -765,6 +973,16 @@ def main(argv: list[str] | None = None) -> int:
         "its WAL shadow, and check the commit-LSN oracle per partition",
     )
     parser.add_argument(
+        "--server-trials",
+        type=int,
+        default=0,
+        help="additional trials that run a cluster-backed network "
+        "server in a child process group, SIGKILL the whole group "
+        "mid-load, re-open the cluster from its WAL shadows, and "
+        "check the commit-LSN oracle against the client-side ledger "
+        "of acknowledged batches",
+    )
+    parser.add_argument(
         "--protocol-checks",
         action="store_true",
         help="attach the lockdep witness to every trial; any hard "
@@ -791,6 +1009,8 @@ def main(argv: list[str] | None = None) -> int:
         results.append(harness.run_batch_trial(args.base_seed + i))
     for i in range(args.partition_trials):
         results.append(harness.run_partition_trial(args.base_seed + i))
+    for i in range(args.server_trials):
+        results.append(harness.run_server_trial(args.base_seed + i))
 
     print(render_table(chaos_rows(results), title="chaos trials"))
     # protocol violations fail the run even though the recovery oracle

@@ -285,6 +285,14 @@ class ClusterDriver:
     effects may have committed before the kill — which matches the
     cluster's documented "maybe" semantics for in-flight-at-kill
     operations, and the chaos oracle accounts for it.
+
+    Retries back off with jitter (``retry_backoff`` base, doubling up
+    to ``retry_max_backoff``): a partition crash fails every thread
+    routed at it *simultaneously*, and immediate retries would have
+    the whole client population hammer the recovering worker in
+    lockstep — a retry storm against exactly the partition that can
+    least afford one.  ``retry_backoff=0`` restores the old
+    hot-retry behavior for deterministic tests.
     """
 
     def __init__(
@@ -293,10 +301,16 @@ class ClusterDriver:
         tree_name: str,
         *,
         max_retries: int = 10,
+        retry_backoff: float = 0.002,
+        retry_max_backoff: float = 0.1,
+        rng: random.Random | None = None,
     ) -> None:
         self.cluster = cluster
         self.tree_name = tree_name
         self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.retry_max_backoff = retry_max_backoff
+        self.rng = rng
 
     def preload(self, ops: Sequence[Op]) -> None:
         """Apply a pure-insert prefix as one batched scatter."""
@@ -334,6 +348,9 @@ class ClusterDriver:
                         latency = run_with_retry(
                             attempt,
                             attempts=self.max_retries + 1,
+                            base_backoff=self.retry_backoff,
+                            max_backoff=self.retry_max_backoff,
+                            rng=self.rng,
                             retryable=(PartitionFailedError,),
                             on_retry=count_abort,
                         )

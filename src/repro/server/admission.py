@@ -1,0 +1,166 @@
+"""Bounded admission queues: the shed-don't-collapse mechanism.
+
+The classic overload failure is the *unbounded* queue: past
+saturation, every accepted request waits behind an ever-growing
+backlog, latency explodes for everyone, and goodput collapses because
+the server spends its capacity on work whose callers have long given
+up.  The fix is old and simple — bound the queue, reject at the door,
+tell the client when to come back:
+
+* :meth:`AdmissionQueue.offer` either accepts a :class:`Ticket` or
+  returns ``False`` immediately (the server turns that into an
+  explicit ``RETRY`` frame — never a silent drop).
+* :meth:`AdmissionQueue.take` hands tickets to worker threads in FIFO
+  order; the *worker* re-checks the ticket's deadline at dequeue, so
+  a request that aged out while queued is shed before it wastes a
+  tree descent.
+* :meth:`AdmissionQueue.retry_hint` estimates how long a rejected
+  client should back off: the queue's recent average wait scaled by
+  how full it is.  The hint is advisory — honest congestion signal,
+  not a promise.
+
+One queue per operation class (point vs scan): scans hold a worker
+for orders of magnitude longer than point ops, and a shared queue
+would let a scan burst starve every point client behind it
+(head-of-line blocking across classes).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["AdmissionQueue", "Ticket"]
+
+
+@dataclass
+class Ticket:
+    """One admitted request, parked until a worker takes it."""
+
+    req_id: int
+    method: str
+    payload: object
+    #: absolute wall-clock deadline (``time.time()`` scale) or None
+    deadline: float | None
+    #: the connection to answer on (opaque to the queue)
+    conn: object
+    #: admission class name (metrics label)
+    klass: str
+    #: monotonic enqueue stamp, set by the queue
+    enqueued_at: float = field(default=0.0)
+
+    def expired(self, now: float | None = None) -> bool:
+        """True when the wall-clock deadline has passed."""
+        if self.deadline is None:
+            return False
+        return (time.time() if now is None else now) >= self.deadline
+
+    def remaining(self, now: float | None = None) -> float | None:
+        """Seconds left until the deadline (None = unbounded)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - (time.time() if now is None else now)
+
+
+class AdmissionQueue:
+    """Bounded FIFO of :class:`Ticket` with a congestion hint.
+
+    Thread model: many reader threads ``offer``, a small worker pool
+    ``take``\\ s.  All state lives behind one condition variable; the
+    wait-time EMA is updated inside it, so the hint is consistent
+    with the depth it is scaled by.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int,
+        *,
+        min_hint: float = 0.005,
+        max_hint: float = 1.0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("admission queue capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.min_hint = min_hint
+        self.max_hint = max_hint
+        self._items: deque[Ticket] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        #: EMA of queue wait (enqueue -> dequeue), seconds
+        self._ema_wait = 0.0
+        #: lifetime accepted / rejected-at-door counts
+        self.accepted = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def offer(self, ticket: Ticket) -> bool:
+        """Accept ``ticket`` or refuse immediately (never blocks)."""
+        with self._cond:
+            if self._closed or len(self._items) >= self.capacity:
+                self.rejected += 1
+                return False
+            ticket.enqueued_at = time.monotonic()
+            self._items.append(ticket)
+            self.accepted += 1
+            self._cond.notify()
+            return True
+
+    def retry_hint(self) -> float:
+        """Suggested client backoff, scaled by current congestion."""
+        with self._cond:
+            fill = len(self._items) / self.capacity
+            hint = self._ema_wait * max(1.0, fill * self.capacity)
+        return min(self.max_hint, max(self.min_hint, hint))
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    def take(self, timeout: float = 0.1) -> Ticket | None:
+        """Next ticket in FIFO order, or None on timeout/closed."""
+        with self._cond:
+            if not self._items:
+                self._cond.wait(timeout)
+            if not self._items:
+                return None
+            ticket = self._items.popleft()
+            waited = time.monotonic() - ticket.enqueued_at
+            # EMA with alpha=0.2: responsive to load shifts without
+            # letting one slow dequeue dominate the hint
+            self._ema_wait += 0.2 * (waited - self._ema_wait)
+            return ticket
+
+    def drain(self) -> "list[Ticket]":
+        """Remove and return every queued ticket (shutdown path)."""
+        with self._cond:
+            items = list(self._items)
+            self._items.clear()
+            return items
+
+    def close(self) -> None:
+        """Refuse new offers and wake blocked takers."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    def snapshot(self) -> dict:
+        with self._cond:
+            return {
+                "depth": len(self._items),
+                "capacity": self.capacity,
+                "accepted": self.accepted,
+                "rejected": self.rejected,
+                "ema_wait_ms": round(self._ema_wait * 1e3, 3),
+            }

@@ -1,0 +1,225 @@
+"""Load generation against a serving endpoint, with exact ledgers.
+
+Two driving disciplines, because they measure different things:
+
+* **Closed loop** (:func:`run_closed_loop`) — one outstanding request
+  per client, next op sent when the previous resolves.  The offered
+  rate self-throttles to the service rate, which is exactly what you
+  want for measuring *saturation goodput* (how fast can the server
+  go when nobody overloads it).
+* **Open loop** (:func:`run_open_loop`) — requests are submitted on
+  an externally fixed arrival schedule (e.g. the workload module's
+  Poisson arrivals) regardless of completions, via
+  :class:`~repro.server.client.PipelinedClient`.  This is the honest
+  overload instrument: closed-loop clients cannot push a server past
+  capacity, open-loop schedules can, and the shed machinery only
+  shows itself past capacity.
+
+Every request frame a generator sends lands in exactly one
+:class:`LoadReport` bucket, mirroring the server's own terminal
+counters; the serving benchmark cross-checks the two ledgers sum for
+sum.  Latencies are recorded for completed ops only — shed ops are
+accounted, not averaged into the latency story (that would reward
+fast rejections with a better p99).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    DeadlineExceededError,
+    RemoteOpError,
+    RetryLater,
+    SessionError,
+)
+from repro.server.client import PipelinedClient, ReproClient
+
+__all__ = ["LoadReport", "run_closed_loop", "run_open_loop"]
+
+
+@dataclass
+class LoadReport:
+    """One generator's ledger: every sent frame in exactly one bucket."""
+
+    #: request frames sent (retries count — each is a fresh frame)
+    offered: int = 0
+    completed: int = 0
+    #: RETRY frames received, by server-stated reason
+    retried: dict = field(default_factory=dict)
+    #: DEADLINE frames (server shed expired work)
+    deadline_exceeded: int = 0
+    #: client-side expiries (no response within deadline + grace)
+    timeouts: int = 0
+    #: in flight when the connection died
+    dropped: int = 0
+    #: ERROR frames
+    failed: int = 0
+    #: seconds, completed ops only
+    latencies: list = field(default_factory=list)
+
+    def note_retry(self, reason: str) -> None:
+        self.retried[reason] = self.retried.get(reason, 0) + 1
+
+    @property
+    def retries(self) -> int:
+        return sum(self.retried.values())
+
+    def terminal(self) -> int:
+        """Frames accounted for; equals ``offered`` when balanced."""
+        return (
+            self.completed
+            + self.retries
+            + self.deadline_exceeded
+            + self.timeouts
+            + self.dropped
+            + self.failed
+        )
+
+    def balanced(self) -> bool:
+        return self.terminal() == self.offered
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        idx = min(
+            len(ordered) - 1, max(0, round(q * (len(ordered) - 1)))
+        )
+        return ordered[idx]
+
+    def merge(self, other: "LoadReport") -> "LoadReport":
+        self.offered += other.offered
+        self.completed += other.completed
+        for reason, n in other.retried.items():
+            self.retried[reason] = self.retried.get(reason, 0) + n
+        self.deadline_exceeded += other.deadline_exceeded
+        self.timeouts += other.timeouts
+        self.dropped += other.dropped
+        self.failed += other.failed
+        self.latencies.extend(other.latencies)
+        return self
+
+    def as_dict(self) -> dict:
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "retried": dict(sorted(self.retried.items())),
+            "deadline_exceeded": self.deadline_exceeded,
+            "timeouts": self.timeouts,
+            "dropped": self.dropped,
+            "failed": self.failed,
+            "balanced": self.balanced(),
+        }
+
+
+def run_closed_loop(
+    host: str,
+    port: int,
+    ops,
+    *,
+    client_id: str,
+    deadline: float | None = None,
+    max_attempts: int = 10,
+    rng=None,
+    stop_at: float | None = None,
+) -> LoadReport:
+    """Drive ``ops`` one at a time, honoring retry hints.
+
+    ``ops`` is an iterable of ``(method, payload)``.  Each logical op
+    is attempted until a terminal outcome or ``max_attempts`` frames;
+    every frame (including retries) is ledgered.  ``stop_at`` is an
+    optional monotonic stamp after which remaining ops are skipped.
+    """
+    report = LoadReport()
+    client = ReproClient(host, port, client_id)
+    try:
+        for method, payload in ops:
+            if stop_at is not None and time.monotonic() >= stop_at:
+                break
+            for attempt in range(max_attempts):
+                report.offered += 1
+                start = time.monotonic()
+                try:
+                    client._call(method, payload, deadline)
+                except RetryLater as exc:
+                    report.note_retry(exc.reason)
+                    if attempt == max_attempts - 1:
+                        break
+                    hint = min(0.5, max(1e-4, exc.retry_after))
+                    if rng is not None:
+                        hint *= 0.5 + 0.5 * rng.random()
+                    time.sleep(hint)
+                except DeadlineExceededError:
+                    report.deadline_exceeded += 1
+                    break
+                except SessionError:
+                    report.dropped += 1
+                    return report  # poisoned: this client is done
+                except RemoteOpError:
+                    report.failed += 1
+                    break
+                else:
+                    report.completed += 1
+                    report.latencies.append(
+                        time.monotonic() - start
+                    )
+                    break
+    finally:
+        client.close()
+    return report
+
+
+def run_open_loop(
+    host: str,
+    port: int,
+    schedule,
+    *,
+    client_id: str,
+    deadline: float | None = None,
+    drain_timeout: float = 10.0,
+) -> LoadReport:
+    """Submit on a fixed arrival schedule; never wait for responses.
+
+    ``schedule`` is an iterable of ``(offset_seconds, method,
+    payload)`` with offsets relative to the call's start.  After the
+    last submission the generator waits (bounded) for stragglers so
+    every frame gets its outcome.
+    """
+    report = LoadReport()
+    lock = threading.Lock()
+
+    def outcome(result: dict) -> None:
+        with lock:
+            status = result["status"]
+            if status == "ok":
+                report.completed += 1
+                report.latencies.append(result["latency"])
+            elif status == "retry":
+                report.note_retry(result["payload"]["reason"])
+            elif status == "deadline":
+                report.deadline_exceeded += 1
+            elif status == "timeout":
+                report.timeouts += 1
+            elif status == "dropped":
+                report.dropped += 1
+            else:  # "error"
+                report.failed += 1
+
+    client = PipelinedClient(host, port, client_id)
+    try:
+        base = time.monotonic()
+        for offset, method, payload in schedule:
+            delay = base + offset - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            report.offered += 1
+            client.submit(method, payload, outcome, timeout=deadline)
+        drain_until = time.monotonic() + drain_timeout
+        while client.pending() and time.monotonic() < drain_until:
+            time.sleep(0.01)
+    finally:
+        client.close()
+    return report

@@ -1,0 +1,122 @@
+"""The serving wire protocol: framed envelopes with deadlines.
+
+The server speaks the same frame format as the cluster's partition
+wire (:mod:`repro.cluster.rpc`): ``struct('!II')`` header carrying
+payload length + CRC32, pickled message objects, strict req-id echo.
+Reusing the framing means the serving layer inherits the torn-frame
+and EOF detection the cluster already trusts.
+
+Envelopes (one pickled tuple per frame):
+
+* hello:     ``("hello", 1, client_id)`` — first client frame;
+  the server answers ``("hello", 1, {"session": n})``.
+* request:   ``(req_id, method, deadline, payload)`` — ``deadline``
+  is an **absolute** ``time.time()`` stamp (or ``None``): relative
+  budgets would drift while the request sits in an admission queue,
+  which is exactly when the deadline matters most.
+* response:  ``(req_id, status, payload)`` with ``status`` one of
+  :data:`OK`, :data:`ERROR`, :data:`RETRY`, :data:`DEADLINE`.
+
+``RETRY`` payloads are ``{"retry_after": seconds, "reason": str}`` —
+the explicit-backpressure frame.  ``DEADLINE`` means the server shed
+the request because its stamp expired before execution started.
+
+Operation classes: every method maps to an admission class —
+``"point"`` (routed single/multi key ops), ``"scan"`` (fan-out
+searches, which hold workers far longer), or ``"control"``
+(health/stats/ping, served inline so an overloaded data path never
+blinds the operator).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CONTROL",
+    "DEADLINE",
+    "ERROR",
+    "HELLO",
+    "OK",
+    "POINT",
+    "PROTOCOL_VERSION",
+    "RETRY",
+    "SCAN",
+    "classify",
+    "deadline_exceeded",
+    "error",
+    "hello",
+    "hello_ack",
+    "ok",
+    "request",
+    "retry",
+]
+
+PROTOCOL_VERSION = 1
+
+#: envelope type tag for the session handshake
+HELLO = "hello"
+
+#: response statuses
+OK = "ok"
+ERROR = "error"
+RETRY = "retry"
+DEADLINE = "deadline"
+
+#: admission classes
+POINT = "point"
+SCAN = "scan"
+CONTROL = "control"
+
+_CLASS_OF = {
+    "put": POINT,
+    "get": POINT,
+    "delete": POINT,
+    "batch": POINT,
+    "multi_put": POINT,
+    "multi_get": POINT,
+    "multi_delete": POINT,
+    "search": SCAN,
+    "ping": CONTROL,
+    "health": CONTROL,
+    "stats": CONTROL,
+}
+
+
+def classify(method: str) -> str:
+    """Admission class for ``method``; unknown methods raise."""
+    try:
+        return _CLASS_OF[method]
+    except KeyError:
+        raise ValueError(f"unknown serving method {method!r}") from None
+
+
+def hello(client_id: str) -> tuple:
+    """Client-side handshake envelope."""
+    return (HELLO, PROTOCOL_VERSION, client_id)
+
+
+def hello_ack(session: int) -> tuple:
+    """Server-side handshake acknowledgment."""
+    return (HELLO, PROTOCOL_VERSION, {"session": session})
+
+
+def request(
+    req_id: int, method: str, deadline: float | None, payload: object
+) -> tuple:
+    """Request envelope (``deadline`` is absolute wall-clock or None)."""
+    return (req_id, method, deadline, payload)
+
+
+def ok(req_id: int, payload: object) -> tuple:
+    return (req_id, OK, payload)
+
+
+def error(req_id: int, exc: BaseException) -> tuple:
+    return (req_id, ERROR, (type(exc).__name__, str(exc)))
+
+
+def retry(req_id: int, retry_after: float, reason: str) -> tuple:
+    return (req_id, RETRY, {"retry_after": retry_after, "reason": reason})
+
+
+def deadline_exceeded(req_id: int, message: str) -> tuple:
+    return (req_id, DEADLINE, message)

@@ -1,0 +1,115 @@
+"""Per-client token buckets: fairness at the front door.
+
+Admission queues bound the *total* backlog; they do nothing about one
+client monopolizing it.  The token bucket adds the per-client bound:
+each client drains tokens at its request rate and refills at a
+configured sustained rate, with a burst allowance for the normal case
+of batched arrivals.  A client that outruns its bucket gets a
+``RETRY`` frame whose hint is the exact time until its next token —
+deterministic, honest backpressure rather than a guessed sleep.
+
+The limiter is keyed by the client id from the session handshake.
+That id is self-reported, which is fine for the lab: the limiter's
+job here is protecting well-behaved clients from an aggressive
+*workload*, not authenticating adversaries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["RateLimiter", "TokenBucket"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/sec, ``burst`` capacity."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, n: float = 1.0) -> tuple[bool, float]:
+        """Take ``n`` tokens if available.
+
+        Returns ``(True, 0.0)`` on success, else ``(False, wait)``
+        where ``wait`` is the seconds until ``n`` tokens will have
+        accumulated — the retry hint.
+        """
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens >= n:
+                self._tokens -= n
+                return (True, 0.0)
+            return (False, (n - self._tokens) / self.rate)
+
+    def available(self) -> float:
+        """Current token count (refilled to now)."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            return self._tokens
+
+
+class RateLimiter:
+    """Per-client-id bucket map; ``rate=None`` disables limiting."""
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: float | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst if burst is not None else (
+            rate * 2 if rate is not None else None
+        )
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate is not None
+
+    def check(self, client_id: str, n: float = 1.0) -> tuple[bool, float]:
+        """Charge ``client_id`` for ``n`` requests; see TokenBucket."""
+        if self.rate is None:
+            return (True, 0.0)
+        with self._lock:
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.rate, self.burst, clock=self._clock
+                )
+                self._buckets[client_id] = bucket
+        return bucket.try_acquire(n)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "rate": self.rate,
+                "clients": len(self._buckets),
+            }

@@ -446,3 +446,56 @@ def partition_ops(
     for i, op in enumerate(ops):
         buckets[i % workers].append(op)
     return buckets
+
+
+class PoissonArrivals:
+    """Open-loop arrival schedule: Poisson process at ``rate`` ops/sec.
+
+    A closed-loop client's offered rate degenerates to the server's
+    service rate (it waits for each response before sending the next),
+    so it can never push a server past saturation.  Driving overload
+    honestly requires an *open-loop* schedule fixed in advance:
+    exponential inter-arrival gaps with mean ``1/rate``, which is a
+    Poisson process — the standard memoryless model of independent
+    client arrivals.
+
+    The schedule is fully determined by ``(rate, duration, seed)``:
+    same inputs, same offsets, so benchmark runs are reproducible op
+    for op.  ``offsets()`` yields seconds relative to the epoch the
+    load generator chooses (its own start time).
+    """
+
+    def __init__(
+        self, rate: float, duration: float, seed: int = 0
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.rate = rate
+        self.duration = duration
+        self.seed = seed
+
+    def offsets(self) -> "list[float]":
+        """Arrival offsets in ``[0, duration)``, ascending."""
+        rng = random.Random(self.seed)
+        out: list[float] = []
+        t = rng.expovariate(self.rate)
+        while t < self.duration:
+            out.append(t)
+            t += rng.expovariate(self.rate)
+        return out
+
+    def schedule(self, ops: "Sequence[object]") -> "list[tuple]":
+        """Zip ``ops`` onto the arrival offsets.
+
+        Returns ``[(offset, *op), ...]`` — with ``(method, payload)``
+        ops this is exactly the open-loop load generator's input.
+        Stops at whichever runs out first (arrivals or ops); the
+        caller sizes ``ops`` to ``rate * duration`` plus slack when
+        it wants the full window covered.
+        """
+        return [
+            (offset,) + tuple(op)
+            for offset, op in zip(self.offsets(), ops)
+        ]

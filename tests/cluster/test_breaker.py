@@ -1,0 +1,123 @@
+"""Circuit breaker state machine unit tests (fake clock, no sleeps)."""
+
+import pytest
+
+from repro.cluster.breaker import BreakerState, CircuitBreaker
+from repro.errors import CircuitOpenError
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(0, threshold=3, cooldown=1.0, clock=clock)
+
+
+class TestClosed:
+    def test_starts_closed_and_admits(self, breaker):
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.check() is False  # normal call, not a probe
+
+    def test_single_failure_stays_closed(self, breaker):
+        breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_threshold_consecutive_failures_open(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.trips == 1
+
+    def test_success_resets_failure_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_timeout_trips_immediately(self, breaker):
+        breaker.record_failure(timeout=True)
+        assert breaker.state == BreakerState.OPEN
+
+    def test_threshold_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(0, threshold=0, clock=clock)
+
+
+class TestOpen:
+    def test_rejects_with_remaining_cooldown(self, breaker, clock):
+        breaker.record_failure(timeout=True)
+        clock.advance(0.4)
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.check()
+        assert info.value.retry_after == pytest.approx(0.6)
+        assert info.value.partition == 0
+        assert breaker.rejections == 1
+
+    def test_retry_after_reports_remaining(self, breaker, clock):
+        assert breaker.retry_after() == 0.0
+        breaker.record_failure(timeout=True)
+        clock.advance(0.25)
+        assert breaker.retry_after() == pytest.approx(0.75)
+
+    def test_cooldown_elapsed_admits_probe(self, breaker, clock):
+        breaker.record_failure(timeout=True)
+        clock.advance(1.0)
+        assert breaker.check() is True  # the probe slot
+        assert breaker.state == BreakerState.HALF_OPEN
+
+
+class TestHalfOpen:
+    def _open_and_probe(self, breaker, clock):
+        breaker.record_failure(timeout=True)
+        clock.advance(1.0)
+        assert breaker.check() is True
+
+    def test_single_probe_slot(self, breaker, clock):
+        self._open_and_probe(breaker, clock)
+        with pytest.raises(CircuitOpenError):
+            breaker.check()  # second caller: probe already in flight
+
+    def test_probe_success_closes(self, breaker, clock):
+        self._open_and_probe(breaker, clock)
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.check() is False
+
+    def test_probe_failure_reopens(self, breaker, clock):
+        self._open_and_probe(breaker, clock)
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.trips == 2
+        # a fresh cooldown starts from the re-open
+        with pytest.raises(CircuitOpenError):
+            breaker.check()
+        clock.advance(1.0)
+        assert breaker.check() is True
+
+
+class TestSnapshot:
+    def test_snapshot_counters(self, breaker, clock):
+        breaker.record_failure(timeout=True)
+        with pytest.raises(CircuitOpenError):
+            breaker.check()
+        snap = breaker.snapshot()
+        assert snap["state"] == BreakerState.OPEN
+        assert snap["trips"] == 1
+        assert snap["rejections"] == 1
+        assert snap["failures"] == 1

@@ -1,0 +1,108 @@
+"""ClusterDriver retry backoff: gate the retry storm.
+
+A partition crash fails every client thread routed at it at the same
+moment.  With the old ``base_backoff=0`` hot loop, each thread burned
+its whole retry budget in microseconds — a storm of doomed calls
+against the partition mid-recovery.  The driver now forwards jittered
+exponential backoff into :func:`run_with_retry`; these tests count the
+sleeps to pin that behavior (and pin that ``retry_backoff=0`` still
+means the deterministic hot loop).
+"""
+
+import random
+
+import pytest
+
+from repro.errors import PartitionFailedError
+from repro.harness import driver as driver_mod
+from repro.harness.driver import ClusterDriver
+from repro.workload.generator import Op
+
+
+class FlakyCluster:
+    """Stub cluster: each put fails ``failures`` times, then lands."""
+
+    def __init__(self, failures: int) -> None:
+        self.failures = failures
+        self.calls = 0
+        self.partitions = 2
+
+    def put(self, tree, key, rid) -> None:
+        self.calls += 1
+        if self.failures > 0:
+            self.failures -= 1
+            raise PartitionFailedError(0, "injected crash")
+
+    def snapshot(self) -> dict:
+        return {"cluster": {"cluster": {}}}
+
+
+@pytest.fixture
+def sleeps(monkeypatch):
+    recorded: list[float] = []
+    monkeypatch.setattr(
+        driver_mod.time, "sleep", lambda s: recorded.append(s)
+    )
+    return recorded
+
+
+def _run_one_op(cluster, **knobs):
+    drv = ClusterDriver(cluster, "t", **knobs)
+    return drv.run([Op(kind="insert", key=1, rid="r1")], threads=1)
+
+
+class TestBackoffGate:
+    def test_default_backs_off_between_retries(self, sleeps):
+        cluster = FlakyCluster(failures=5)
+        metrics = _run_one_op(
+            cluster, rng=random.Random(42)
+        )
+        assert metrics.commits == 1
+        assert metrics.aborts == 5
+        # the storm gate: every retry slept, none was a hot retry
+        assert len(sleeps) == 5
+        assert all(delay > 0 for delay in sleeps)
+
+    def test_backoff_grows_and_is_capped(self, sleeps):
+        cluster = FlakyCluster(failures=9)
+        _run_one_op(
+            cluster,
+            retry_backoff=0.002,
+            retry_max_backoff=0.05,
+            rng=random.Random(7),
+        )
+        # jitter scales each delay by [0.5, 1.5); the cap still binds
+        assert max(sleeps) <= 0.05 * 1.5
+        assert min(sleeps) >= 0.002 * 0.5
+        # late retries wait longer than the first (exponential growth
+        # dominates the jitter band at 4 doublings)
+        assert sleeps[-1] > sleeps[0]
+
+    def test_zero_backoff_restores_hot_loop(self, sleeps):
+        cluster = FlakyCluster(failures=5)
+        metrics = _run_one_op(cluster, retry_backoff=0.0)
+        assert metrics.commits == 1
+        assert sleeps == []
+
+    def test_seeded_rng_is_deterministic(self, monkeypatch):
+        runs = []
+        for _ in range(2):
+            recorded: list[float] = []
+            monkeypatch.setattr(
+                driver_mod.time,
+                "sleep",
+                lambda s, r=recorded: r.append(s),
+            )
+            _run_one_op(
+                FlakyCluster(failures=4), rng=random.Random(123)
+            )
+            runs.append(recorded)
+        assert runs[0] == runs[1]
+        assert len(runs[0]) == 4
+
+    def test_exhausted_retries_abandon_the_op(self, sleeps):
+        cluster = FlakyCluster(failures=100)
+        metrics = _run_one_op(cluster, max_retries=3)
+        assert metrics.commits == 0
+        assert metrics.aborts == 4  # initial try + 3 retries, all failed
+        assert cluster.calls == 4

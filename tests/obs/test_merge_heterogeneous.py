@@ -1,0 +1,115 @@
+"""merge_snapshots over heterogeneous namespaces + shed-burst dumps.
+
+The serving stack merges three registries that share almost no keys:
+the server's own counters (``server.*``), the cluster front end
+(``cluster.*``) and the cross-partition aggregate (``wal.*``,
+``buffer.*``, ...).  The merge must keep disjoint namespaces intact,
+sum where names do collide, and tolerate snapshots that are missing
+whole subtrees — a partition that died before reporting, a local
+backend with no cluster section at all.
+"""
+
+import json
+
+from repro.obs.flightrec import FlightRecorder
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+
+
+def _registry(**counters) -> dict:
+    reg = MetricsRegistry()
+    for name, n in counters.items():
+        counter = reg.counter(name.replace("__", "."))
+        for _ in range(n):
+            counter.inc()
+    return reg.snapshot()
+
+
+class TestHeterogeneousMerge:
+    def test_disjoint_namespaces_coexist(self):
+        server = _registry(server__offered__point=10)
+        cluster = _registry(cluster__routed_ops=7)
+        aggregate = _registry(wal__appends=40)
+        merged = merge_snapshots([server, cluster, aggregate])
+        assert merged["server"]["offered"]["point"] == 10
+        assert merged["cluster"]["routed_ops"] == 7
+        assert merged["wal"]["appends"] == 40
+
+    def test_colliding_names_sum(self):
+        a = _registry(wal__appends=3, latch__acquires=5)
+        b = _registry(wal__appends=4)
+        merged = merge_snapshots([a, b])
+        assert merged["wal"]["appends"] == 7
+        assert merged["latch"]["acquires"] == 5
+
+    def test_missing_subtrees_tolerated(self):
+        full = _registry(
+            server__offered__point=2, cluster__routed_ops=1
+        )
+        sparse = _registry(server__offered__scan=3)
+        empty: dict = {}
+        merged = merge_snapshots([full, sparse, empty])
+        assert merged["server"]["offered"] == {"point": 2, "scan": 3}
+        assert merged["cluster"]["routed_ops"] == 1
+
+    def test_scalar_vs_subtree_collision_keeps_subtree(self):
+        # one registry reports a leaf where another has a dict: the
+        # dict side wins the shape and the scalar is dropped rather
+        # than corrupting the tree
+        merged = merge_snapshots(
+            [{"queue": 5}, {"queue": {"depth": 2}}]
+        )
+        assert merged["queue"] == {"depth": 2}
+
+    def test_order_invariant_for_numeric_leaves(self):
+        a = _registry(cluster__rpc__timeouts=2)
+        b = _registry(cluster__rpc__timeouts=9)
+        assert (
+            merge_snapshots([a, b])["cluster"]["rpc"]["timeouts"]
+            == merge_snapshots([b, a])["cluster"]["rpc"]["timeouts"]
+            == 11
+        )
+
+    def test_booleans_are_not_summed(self):
+        merged = merge_snapshots(
+            [{"flags": {"enabled": True}}, {"flags": {"enabled": True}}]
+        )
+        assert merged["flags"]["enabled"] is True
+
+
+class TestShedBurstDump:
+    def test_dump_preserves_shed_event_sequence(self, tmp_path):
+        rec = FlightRecorder(capacity=64)
+        for i in range(10):
+            rec.record(
+                "server.shed",
+                klass="point",
+                reason="queue_full",
+                client=f"c{i % 3}",
+            )
+        rec.record("server.shed", klass="scan", reason="rate_limit",
+                   client="c9")
+        path = tmp_path / "shed-burst.jsonl"
+        rec.dump(str(path))
+        events = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        sheds = [e for e in events if e["name"] == "server.shed"]
+        assert len(sheds) == 11
+        seqs = [e["seq"] for e in sheds]
+        assert seqs == sorted(seqs)
+        assert sheds[-1]["data"]["reason"] == "rate_limit"
+        reasons = {e["data"]["reason"] for e in sheds}
+        assert reasons == {"queue_full", "rate_limit"}
+
+    def test_ring_bounds_the_dump(self, tmp_path):
+        rec = FlightRecorder(capacity=8)
+        for i in range(50):
+            rec.record("server.shed", klass="point", reason="x",
+                       client=f"c{i}")
+        path = tmp_path / "bounded.jsonl"
+        rec.dump(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 8
+        # the ring keeps the most recent events — the postmortem tail
+        assert json.loads(lines[-1])["data"]["client"] == "c49"

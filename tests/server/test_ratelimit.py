@@ -1,0 +1,94 @@
+"""Token bucket / rate limiter unit tests (fake clock, no sleeps)."""
+
+import pytest
+
+from repro.server.ratelimit import RateLimiter, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 50.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestTokenBucket:
+    def test_burst_then_refuse(self, clock):
+        bucket = TokenBucket(10.0, 5.0, clock=clock)
+        for _ in range(5):
+            ok, wait = bucket.try_acquire()
+            assert ok and wait == 0.0
+        ok, wait = bucket.try_acquire()
+        assert not ok
+        assert wait == pytest.approx(0.1)  # 1 token at 10/s
+
+    def test_refills_at_rate(self, clock):
+        bucket = TokenBucket(10.0, 5.0, clock=clock)
+        for _ in range(5):
+            bucket.try_acquire()
+        clock.advance(0.35)
+        assert bucket.available() == pytest.approx(3.5)
+        ok, _ = bucket.try_acquire(3.0)
+        assert ok
+
+    def test_refill_capped_at_burst(self, clock):
+        bucket = TokenBucket(10.0, 5.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available() == 5.0
+
+    def test_wait_hint_is_exact(self, clock):
+        bucket = TokenBucket(4.0, 1.0, clock=clock)
+        bucket.try_acquire()
+        ok, wait = bucket.try_acquire()
+        assert not ok
+        assert wait == pytest.approx(0.25)
+        clock.advance(wait)
+        ok, _ = bucket.try_acquire()
+        assert ok
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0, 1.0, clock=clock)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, 0.0, clock=clock)
+
+
+class TestRateLimiter:
+    def test_disabled_always_admits(self, clock):
+        limiter = RateLimiter(None, clock=clock)
+        assert not limiter.enabled
+        for _ in range(10_000):
+            ok, wait = limiter.check("c1")
+            assert ok and wait == 0.0
+
+    def test_per_client_isolation(self, clock):
+        limiter = RateLimiter(10.0, 2.0, clock=clock)
+        limiter.check("greedy")
+        limiter.check("greedy")
+        ok, _ = limiter.check("greedy")
+        assert not ok
+        # a different client has its own untouched bucket
+        ok, wait = limiter.check("polite")
+        assert ok and wait == 0.0
+
+    def test_default_burst_is_twice_rate(self, clock):
+        limiter = RateLimiter(8.0, clock=clock)
+        assert limiter.burst == 16.0
+
+    def test_snapshot(self, clock):
+        limiter = RateLimiter(10.0, clock=clock)
+        limiter.check("a")
+        limiter.check("b")
+        snap = limiter.snapshot()
+        assert snap["enabled"] is True
+        assert snap["rate"] == 10.0
+        assert snap["clients"] == 2

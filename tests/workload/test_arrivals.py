@@ -1,0 +1,65 @@
+"""Poisson arrival schedules: seeded determinism and shape."""
+
+import pytest
+
+from repro.workload.generator import PoissonArrivals
+
+
+class TestOffsets:
+    def test_deterministic_under_a_seed(self):
+        a = PoissonArrivals(rate=200.0, duration=2.0, seed=42)
+        b = PoissonArrivals(rate=200.0, duration=2.0, seed=42)
+        assert a.offsets() == b.offsets()
+
+    def test_different_seeds_differ(self):
+        a = PoissonArrivals(rate=200.0, duration=2.0, seed=1)
+        b = PoissonArrivals(rate=200.0, duration=2.0, seed=2)
+        assert a.offsets() != b.offsets()
+
+    def test_offsets_ascending_and_in_range(self):
+        offsets = PoissonArrivals(
+            rate=500.0, duration=1.5, seed=7
+        ).offsets()
+        assert offsets == sorted(offsets)
+        assert all(0.0 <= t < 1.5 for t in offsets)
+
+    def test_count_tracks_rate_times_duration(self):
+        # Poisson(lambda=1000): mean 1000, sd ~32; 5 sd of slack
+        offsets = PoissonArrivals(
+            rate=2000.0, duration=0.5, seed=3
+        ).offsets()
+        assert 840 <= len(offsets) <= 1160
+
+    def test_interarrivals_look_exponential(self):
+        offsets = PoissonArrivals(
+            rate=1000.0, duration=2.0, seed=11
+        ).offsets()
+        gaps = [
+            b - a for a, b in zip(offsets, offsets[1:])
+        ]
+        mean_gap = sum(gaps) / len(gaps)
+        assert mean_gap == pytest.approx(1 / 1000.0, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=0.0, duration=1.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=10.0, duration=0.0)
+
+
+class TestSchedule:
+    def test_schedule_zips_offsets_onto_ops(self):
+        arrivals = PoissonArrivals(rate=100.0, duration=1.0, seed=5)
+        n = len(arrivals.offsets())
+        ops = [("put", ("t", i, f"r{i}")) for i in range(n)]
+        schedule = arrivals.schedule(ops)
+        assert len(schedule) == n
+        offsets = arrivals.offsets()
+        for i, entry in enumerate(schedule):
+            assert entry[0] == offsets[i]
+            assert entry[1:] == ops[i]
+
+    def test_schedule_truncates_to_shorter_side(self):
+        arrivals = PoissonArrivals(rate=100.0, duration=1.0, seed=5)
+        schedule = arrivals.schedule([("get", ("t", 1))])
+        assert len(schedule) == 1
