@@ -1,0 +1,96 @@
+"""Static-analysis pipeline benchmark: wall-clock and pass sizes.
+
+The verifier is a CI gate, so its own latency is part of the product:
+the whole pipeline — call graph, interprocedural type-state summaries,
+lexical rules, rule packs, and the static lock-order extractor — must
+finish well inside the 30-second CI budget on the shipped tree, and
+``BENCH_analysis.json`` records how much headroom is left.
+
+Deterministic gates:
+
+1. **Zero findings on the shipped tree.**  The benchmark doubles as an
+   end-to-end smoke run of ``repro.analysis.verify``.
+2. **Wall-clock under the CI budget.**  The measured elapsed time must
+   come in under ``--max-seconds 30`` with at least 2x headroom, so a
+   modest CI-runner slowdown cannot flake the gate.
+3. **The passes actually saw the tree.**  Function, summary, and
+   lock-graph-edge counts carry sane floors; a refactor that silently
+   empties a pass fails here, not in production.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis import verify
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+CI_BUDGET_SECONDS = 30.0
+
+
+def run_verifier() -> tuple[int, list, dict]:
+    start = time.monotonic()
+    code, findings, stats = verify.run(
+        [str(SRC)], max_seconds=CI_BUDGET_SECONDS
+    )
+    stats["measured_seconds"] = round(time.monotonic() - start, 3)
+    return code, findings, stats
+
+
+def test_analysis_pipeline_wall_clock(benchmark, emit, emit_json):
+    results: list[tuple[int, list, dict]] = []
+
+    def run():
+        results.clear()
+        results.append(run_verifier())
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    code, findings, stats = results[0]
+
+    emit(
+        "ANALYSIS — full verifier pipeline over src/repro "
+        f"(CI budget {CI_BUDGET_SECONDS:.0f}s)",
+        [
+            {
+                "functions": stats["functions"],
+                "summaries": stats["summaries"],
+                "lock_edges": stats["lock_graph_edges"],
+                "suppressions": stats["suppressions"],
+                "seconds": stats["measured_seconds"],
+            }
+        ],
+        columns=[
+            "functions",
+            "summaries",
+            "lock_edges",
+            "suppressions",
+            "seconds",
+        ],
+    )
+    emit_json(
+        "analysis",
+        {
+            "files": stats["files"],
+            "functions": stats["functions"],
+            "summaries": stats["summaries"],
+            "call_edges": stats["call_edges"],
+            "lock_graph_nodes": stats["lock_graph_nodes"],
+            "lock_graph_edges": stats["lock_graph_edges"],
+            "suppressions": stats["suppressions"],
+            "suppression_budget": stats["suppression_budget"],
+            "elapsed_seconds": stats["measured_seconds"],
+            "ci_budget_seconds": CI_BUDGET_SECONDS,
+        },
+    )
+
+    # gate 1: the shipped tree is clean
+    assert code == 0, "\n".join(str(f) for f in findings)
+    assert findings == []
+    # gate 2: 2x headroom inside the CI budget
+    assert stats["measured_seconds"] < CI_BUDGET_SECONDS / 2
+    # gate 3: the passes saw the whole tree
+    assert stats["functions"] > 1000
+    assert stats["summaries"] == stats["functions"]
+    assert stats["lock_graph_edges"] > 20

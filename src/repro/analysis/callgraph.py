@@ -1,0 +1,443 @@
+"""Whole-program call graph over a Python source tree.
+
+The protocol verifier (:mod:`repro.analysis.typestate`,
+:mod:`repro.analysis.lockorder`) needs to follow latch/pin ownership
+*across* call boundaries — hand-over-hand crabbing acquires in one
+function and releases in another, and the paper's global latch order is
+only visible when acquisition sites are composed through their callers.
+This module builds the graph those passes walk:
+
+* every ``def`` is indexed under a module-qualified name
+  (``repro.gist.tree.GiST._locate_leaf``);
+* call expressions are resolved with deterministic heuristics —
+  ``self.m()`` through the receiver class and its bases, ``obj.m()``
+  through local constructor assignments (``obj = ClassName(...)``),
+  ``self.attr.m()`` through ``__init__`` assignments and annotations,
+  well-known attribute names (``pool``, ``log``, ``locks``, ...)
+  through a role table, and bare names through the import table;
+* strongly connected components (Tarjan) give the bottom-up order the
+  summary computation consumes, so recursion (``_search_coupled``)
+  converges by fixpoint instead of diverging.
+
+Resolution is best-effort by design: an unresolved call produces *no*
+edge (and is counted), never a guess outside the indexed tree.  The
+type-state pass treats unresolved calls as effect-free, which is safe
+for the latch discipline because every latch-touching callee lives in
+the indexed tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: well-known attribute-name -> class-name roles used when no assignment
+#: or annotation pins the receiver type (the database assembly wires
+#: these names consistently across the tree, pool, txn and wal layers)
+ATTR_ROLE_TYPES: dict[str, str] = {
+    "pool": "BufferPool",
+    "store": "PageStore",
+    "log": "LogManager",
+    "locks": "LockManager",
+    "predicates": "PredicateManager",
+    "supervisor": "Supervisor",
+    "cluster": "PartitionedDatabase",
+}
+
+
+@dataclass
+class FunctionInfo:
+    """One indexed ``def``: identity plus the AST needed by the passes."""
+
+    qname: str
+    module: str
+    cls: str | None
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    path: Path
+    lineno: int
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    module: str
+    bases: list[str]
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.<attr>`` -> class-name, from __init__ assignments and
+    #: annotated attribute declarations
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class CallSite:
+    caller: str
+    callee: str
+    lineno: int
+    col: int
+
+
+class CallGraph:
+    """Index of every function plus resolved call edges."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: class name (unqualified) -> ClassInfo list (dispatch heuristic)
+        self.by_class_name: dict[str, list[ClassInfo]] = {}
+        #: module -> {local name -> qname-or-module it refers to}
+        self.imports: dict[str, dict[str, str]] = {}
+        #: module -> {function name -> qname} for module-level defs
+        self.module_funcs: dict[str, dict[str, str]] = {}
+        self.edges: dict[str, list[CallSite]] = {}
+        self.callers: dict[str, list[CallSite]] = {}
+        self.unresolved = 0
+        self.resolved = 0
+
+    # ------------------------------------------------------------------
+    # indexing
+    # ------------------------------------------------------------------
+    def index_paths(self, paths: list[Path]) -> None:
+        parsed: list[tuple[str, Path, ast.Module]] = []
+        for path in paths:
+            try:
+                tree = ast.parse(path.read_text(), filename=str(path))
+            except SyntaxError:
+                continue
+            module = module_name(path)
+            parsed.append((module, path, tree))
+            self._index_module(module, path, tree)
+        for module, path, tree in parsed:
+            self._link_module(module, tree)
+
+    def _index_module(
+        self, module: str, path: Path, tree: ast.Module
+    ) -> None:
+        imports: dict[str, str] = {}
+        funcs: dict[str, str] = {}
+        self.imports[module] = imports
+        self.module_funcs[module] = funcs
+        for node in tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                qname = f"{module}.{node.name}"
+                info = FunctionInfo(
+                    qname, module, None, node.name, node, path, node.lineno
+                )
+                self.functions[qname] = info
+                funcs[node.name] = qname
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(module, path, node)
+
+    def _index_class(
+        self, module: str, path: Path, node: ast.ClassDef
+    ) -> None:
+        bases = []
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                bases.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                bases.append(base.attr)
+        cls = ClassInfo(node.name, module, bases)
+        self.classes[f"{module}.{node.name}"] = cls
+        self.by_class_name.setdefault(node.name, []).append(cls)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qname = f"{module}.{node.name}.{item.name}"
+                info = FunctionInfo(
+                    qname,
+                    module,
+                    node.name,
+                    item.name,
+                    item,
+                    path,
+                    item.lineno,
+                )
+                self.functions[qname] = info
+                cls.methods[item.name] = info
+                if item.name == "__init__":
+                    self._harvest_attr_types(cls, item)
+            elif isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                hint = _annotation_class(item.annotation)
+                if hint:
+                    cls.attr_types[item.target.id] = hint
+
+    @staticmethod
+    def _harvest_attr_types(cls: ClassInfo, init) -> None:
+        """``self.x = ClassName(...)`` / ``self.x: T = ...`` in __init__."""
+        for node in ast.walk(init):
+            target = None
+            value = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+                hint = _annotation_class(node.annotation)
+                if (
+                    hint
+                    and isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    cls.attr_types.setdefault(target.attr, hint)
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+            ):
+                cls.attr_types.setdefault(target.attr, value.func.id)
+
+    # ------------------------------------------------------------------
+    # linking
+    # ------------------------------------------------------------------
+    def _link_module(self, module: str, tree: ast.Module) -> None:
+        for info in self.functions.values():
+            if info.module != module:
+                continue
+            sites = self.edges.setdefault(info.qname, [])
+            local_types = self._local_var_types(info.node)
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = self._resolve_call(info, node, local_types)
+                if callee is None:
+                    self.unresolved += 1
+                    continue
+                self.resolved += 1
+                site = CallSite(
+                    info.qname, callee, node.lineno, node.col_offset
+                )
+                sites.append(site)
+                self.callers.setdefault(callee, []).append(site)
+
+    @staticmethod
+    def _local_var_types(fn) -> dict[str, str]:
+        """``v = ClassName(...)`` assignments inside the function."""
+        types: dict[str, str] = {}
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Name)
+            ):
+                types[node.targets[0].id] = node.value.func.id
+        return types
+
+    def _resolve_call(
+        self,
+        caller: FunctionInfo,
+        call: ast.Call,
+        local_types: dict[str, str],
+    ) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            # bare name: local module function, then imported function
+            target = self.module_funcs.get(caller.module, {}).get(func.id)
+            if target:
+                return target
+            imported = self.imports.get(caller.module, {}).get(func.id)
+            if imported and imported in self.functions:
+                return imported
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        method = func.attr
+        recv = func.value
+        # self.m(...)
+        if isinstance(recv, ast.Name) and recv.id == "self" and caller.cls:
+            found = self._lookup_method(
+                caller.module, caller.cls, method
+            )
+            if found:
+                return found
+        # cls-qualified: ClassName.m(...) or imported module.func(...)
+        if isinstance(recv, ast.Name):
+            cls_name = local_types.get(recv.id, recv.id)
+            found = self._method_by_class_name(
+                cls_name, method, prefer_module=caller.module
+            )
+            if found:
+                return found
+            imported = self.imports.get(caller.module, {}).get(recv.id)
+            if imported:
+                dotted = f"{imported}.{method}"
+                if dotted in self.functions:
+                    return dotted
+            # receiver-name role heuristic (``pool.fix`` in a local)
+            found = self._method_by_role(recv.id, method)
+            if found:
+                return found
+        # self.attr.m(...)
+        if (
+            isinstance(recv, ast.Attribute)
+            and isinstance(recv.value, ast.Name)
+            and recv.value.id == "self"
+            and caller.cls
+        ):
+            cls = self.classes.get(f"{caller.module}.{caller.cls}")
+            attr_cls = cls.attr_types.get(recv.attr) if cls else None
+            if attr_cls:
+                found = self._method_by_class_name(
+                    attr_cls, method, prefer_module=caller.module
+                )
+                if found:
+                    return found
+            found = self._method_by_role(recv.attr, method)
+            if found:
+                return found
+        # deep attribute chain: use the last attribute as a role name
+        if isinstance(recv, ast.Attribute):
+            found = self._method_by_role(recv.attr, method)
+            if found:
+                return found
+        return None
+
+    def _lookup_method(
+        self, module: str, cls_name: str, method: str
+    ) -> str | None:
+        """Method lookup through the class and its (named) bases."""
+        seen: set[str] = set()
+        queue = [(module, cls_name)]
+        while queue:
+            mod, name = queue.pop(0)
+            key = f"{mod}.{name}"
+            if key in seen:
+                continue
+            seen.add(key)
+            cls = self.classes.get(key)
+            if cls is None:
+                # base defined in another module: match by bare name
+                for candidate in self.by_class_name.get(name, []):
+                    cls = candidate
+                    break
+                if cls is None:
+                    continue
+            if method in cls.methods:
+                return cls.methods[method].qname
+            for base in cls.bases:
+                queue.append((cls.module, base))
+        return None
+
+    def _method_by_class_name(
+        self, cls_name: str, method: str, prefer_module: str | None = None
+    ) -> str | None:
+        candidates = self.by_class_name.get(cls_name, [])
+        hit = None
+        for cls in candidates:
+            found = self._lookup_method(cls.module, cls.name, method)
+            if found:
+                if prefer_module and cls.module == prefer_module:
+                    return found
+                hit = hit or found
+        return hit
+
+    def _method_by_role(self, attr_name: str, method: str) -> str | None:
+        cls_name = ATTR_ROLE_TYPES.get(attr_name)
+        if cls_name is None:
+            return None
+        return self._method_by_class_name(cls_name, method)
+
+    # ------------------------------------------------------------------
+    # SCC order
+    # ------------------------------------------------------------------
+    def sccs(self) -> list[list[str]]:
+        """Strongly connected components in reverse topological order
+        (callees before callers), via iterative Tarjan."""
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        result: list[list[str]] = []
+        counter = [0]
+
+        def neighbors(q: str) -> list[str]:
+            return [
+                s.callee
+                for s in self.edges.get(q, [])
+                if s.callee in self.functions
+            ]
+
+        for root in self.functions:
+            if root in index:
+                continue
+            work = [(root, iter(neighbors(root)))]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt not in index:
+                        index[nxt] = low[nxt] = counter[0]
+                        counter[0] += 1
+                        stack.append(nxt)
+                        on_stack.add(nxt)
+                        work.append((nxt, iter(neighbors(nxt))))
+                        advanced = True
+                        break
+                    if nxt in on_stack:
+                        low[node] = min(low[node], index[nxt])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    comp = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        comp.append(member)
+                        if member == node:
+                            break
+                    result.append(comp)
+        return result
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name for ``path`` (rooted at ``src`` when present)."""
+    parts = list(path.with_suffix("").parts)
+    for anchor in ("src",):
+        if anchor in parts:
+            parts = parts[parts.index(anchor) + 1 :]
+            break
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _annotation_class(node) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.split(".")[-1].strip("'\" |") or None
+    return None
+
+
+def build(paths: list[Path]) -> CallGraph:
+    graph = CallGraph()
+    graph.index_paths(paths)
+    return graph

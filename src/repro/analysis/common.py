@@ -1,0 +1,306 @@
+"""Shared plumbing for the static protocol passes.
+
+:mod:`repro.analysis.lint` (lexical rules), :mod:`~repro.analysis.
+typestate` (interprocedural latch/pin ownership) and
+:mod:`~repro.analysis.lockorder` (static acquisition order) all need
+the same four ingredients: the :class:`Finding` record, the call-shape
+heuristics that decide what counts as a latch/pin/lock acquisition,
+the ``# lint: allow(rule): reason`` suppression index, and the
+structural release-on-all-paths criterion (``try/finally``, ``with``,
+next-sibling-try) that discharges an acquisition without any dataflow.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(([^)]*)\)(:?)")
+_ALLOW_FILE_RE = re.compile(r"#\s*lint:\s*allow-file\(([^)]*)\)(:?)")
+
+#: method names whose presence in a finally/handler counts as cleanup
+CLEANUP_ATTRS = frozenset(
+    {"release", "unfix", "unpin", "release_thread_fixes", "close"}
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+# ----------------------------------------------------------------------
+# call-shape heuristics
+# ----------------------------------------------------------------------
+
+
+def receiver_text(call: ast.Call) -> str:
+    """Source text of the attribute receiver (``a.b`` for ``a.b.c()``)."""
+    if isinstance(call.func, ast.Attribute):
+        try:
+            return ast.unparse(call.func.value)
+        except Exception:  # pragma: no cover - defensive
+            return ""
+    return ""
+
+
+def call_attr(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return ""
+
+
+def keyword_arg(call: ast.Call, name: str):
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def is_false_const(node) -> bool:
+    return isinstance(node, ast.Constant) and node.value is False
+
+
+def is_latch_acquire(call: ast.Call) -> bool:
+    """``x.acquire(...)`` where the receiver looks like a latch/mutex."""
+    if call_attr(call) != "acquire":
+        return False
+    recv = receiver_text(call).lower()
+    return any(
+        token in recv for token in ("latch", "lock", "mutex", "cond")
+    ) and "locks" not in recv
+
+
+def is_lock_acquire(call: ast.Call) -> bool:
+    """Transactional ``LockManager.acquire`` (deadlock-detected side)."""
+    if call_attr(call) != "acquire":
+        return False
+    recv = receiver_text(call).lower()
+    return "locks" in recv or recv.endswith("lock_manager")
+
+
+def is_fix(call: ast.Call) -> bool:
+    return call_attr(call) == "fix"
+
+
+def is_pin(call: ast.Call) -> bool:
+    return call_attr(call) == "pin"
+
+
+def is_io_call(call: ast.Call) -> bool:
+    attr = call_attr(call)
+    recv = receiver_text(call).lower()
+    if attr in {"read", "write"} and "store" in recv:
+        return True
+    if attr == "sleep":  # time.sleep / module-level sleep
+        return True
+    if attr == "_io_stall":
+        return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+
+
+def _comment_lines(source: str):
+    """(lineno, text) for every *real* comment token — a docstring
+    that merely mentions ``# lint: allow(...)`` is not a suppression."""
+    import io
+    import tokenize
+
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # unparseable file: fall back to raw lines (the linter will
+        # report a parse error separately; suppressions still apply)
+        return list(enumerate(source.splitlines(), start=1))
+    return [
+        (tok.start[0], tok.string)
+        for tok in tokens
+        if tok.type == tokenize.COMMENT
+    ]
+
+
+class SuppressionIndex:
+    """Per-file ``# lint: allow(...)`` table.
+
+    ``allows(rule, lines)`` answers whether any of the given lines (a
+    finding's own line, its end line, or the ``def`` lines of enclosing
+    functions) carries a suppression for ``rule``.  ``entries`` exposes
+    every suppression with its line and whether a ``: reason`` string
+    follows — the ``suppression-without-reason`` meta-rule and the
+    suppression-budget accounting read it.
+    """
+
+    def __init__(self, source: str) -> None:
+        self.line_allows: dict[int, set[str]] = {}
+        self.file_allows: set[str] = set()
+        #: (line, rules, has_reason, is_file_level)
+        self.entries: list[tuple[int, tuple[str, ...], bool, bool]] = []
+        for lineno, line in _comment_lines(source):
+            m = _ALLOW_RE.search(line)
+            if m:
+                rules = tuple(
+                    r.strip() for r in m.group(1).split(",") if r.strip()
+                )
+                has_reason = m.group(2) == ":"
+                self.line_allows.setdefault(lineno, set()).update(rules)
+                self.entries.append((lineno, rules, has_reason, False))
+            m = _ALLOW_FILE_RE.search(line)
+            if m:
+                rules = tuple(
+                    r.strip() for r in m.group(1).split(",") if r.strip()
+                )
+                has_reason = m.group(2) == ":"
+                self.file_allows.update(rules)
+                self.entries.append((lineno, rules, has_reason, True))
+
+    def allows(self, rule: str, lines) -> bool:
+        if rule in self.file_allows or "*" in self.file_allows:
+            return True
+        for line in lines:
+            found = self.line_allows.get(line, ())
+            if rule in found or "*" in found:
+                return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# structural protection (lexical release-on-all-paths)
+# ----------------------------------------------------------------------
+
+
+def build_parent_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def enclosing_function_lines(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> list[int]:
+    """Line numbers of the finding plus every enclosing ``def`` line."""
+    lines = [getattr(node, "lineno", 0)]
+    end = getattr(node, "end_lineno", None)
+    if end is not None:
+        lines.append(end)
+    cur = parents.get(node)
+    while cur is not None:
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            lines.append(cur.lineno)
+        cur = parents.get(cur)
+    return lines
+
+
+def _contains_cleanup(nodes: list[ast.stmt]) -> bool:
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and call_attr(node) in (
+                CLEANUP_ATTRS
+            ):
+                return True
+    return False
+
+
+def _try_cleans_up(try_node: ast.Try) -> bool:
+    if _contains_cleanup(try_node.finalbody):
+        return True
+    for handler in try_node.handlers:
+        if _contains_cleanup(handler.body):
+            return True
+    return False
+
+
+def _is_descendant(
+    node: ast.AST, ancestor: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> bool:
+    cur = node
+    while cur is not None:
+        if cur is ancestor:
+            return True
+        cur = parents.get(cur)
+    return False
+
+
+def structurally_protected(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> bool:
+    """True if the acquisition at ``node`` is lexically released.
+
+    Accepted shapes: the call is inside the body of a ``try`` whose
+    ``finally`` or handlers contain a cleanup call; the statement
+    *immediately after* the call's statement is such a ``try`` (the
+    canonical ``x = acquire(); try: ... finally: release(x)`` idiom);
+    or the call sits in a ``with`` item (the manager owns the release).
+    """
+    cur: ast.AST | None = node
+    while cur is not None:
+        parent = parents.get(cur)
+        if isinstance(parent, ast.withitem):
+            return True
+        if isinstance(parent, ast.Try):
+            in_body = any(
+                cur is stmt or _is_descendant(cur, stmt, parents)
+                for stmt in parent.body
+            )
+            if in_body and _try_cleans_up(parent):
+                return True
+        cur = parent
+    cur = node
+    while cur is not None and not isinstance(
+        cur, (ast.FunctionDef, ast.AsyncFunctionDef)
+    ):
+        if isinstance(cur, ast.stmt):
+            parent = parents.get(cur)
+            for fieldname in ("body", "orelse", "finalbody"):
+                block = getattr(parent, fieldname, None)
+                if isinstance(block, list) and cur in block:
+                    idx = block.index(cur)
+                    if idx + 1 < len(block):
+                        nxt = block[idx + 1]
+                        if isinstance(nxt, ast.Try) and _try_cleans_up(
+                            nxt
+                        ):
+                            return True
+        cur = parents.get(cur)
+    return False
+
+
+# ----------------------------------------------------------------------
+# file iteration
+# ----------------------------------------------------------------------
+
+
+def iter_py_files(paths) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files

@@ -4,16 +4,19 @@ Usage::
 
     PYTHONPATH=src python -m repro.analysis.lint src/repro
 
-Rules (see DESIGN.md §10 for the paper citations):
+Rules (see DESIGN.md §10/§15 for the paper citations):
 
 ``latch-release``
     Every latch/mutex ``acquire()`` and every ``pool.fix()`` must be
-    released on all paths — the call must sit inside (or be the
-    statement immediately before) a ``try`` whose ``finally`` or
-    handlers perform the release, or inside a ``with`` manager.
+    released on all paths.  Since PR 10 this is verified by the
+    *interprocedural* type-state pass (:mod:`repro.analysis.typestate`)
+    — an acquisition is discharged either structurally (``try/finally``
+    / ``with``) or by dataflow proof through function summaries, so
+    crabbing helpers that transfer ownership to their caller verify
+    without suppressions.
 ``pin-balance``
     Every ``pin()`` must be paired with ``unpin()``/``unfix()`` on all
-    exit paths, under the same structural criterion.
+    exit paths, under the same interprocedural criterion.
 ``io-under-latch``
     No I/O-class call (``PageStore.read``/``write``, ``_io_stall``,
     ``time.sleep``) lexically inside a latch- or mutex-held region.
@@ -27,26 +30,51 @@ Rules (see DESIGN.md §10 for the paper citations):
     catches ``StorageFaultError`` or anything broader without
     re-raising — storage faults must surface or be handled for real.
 
-Suppressions: ``# lint: allow(rule)`` or ``# lint: allow(rule): why``
-on the offending line silences that rule there; on a ``def`` line it
-silences the rule for the whole function (used for hand-over-hand
-crabbing and ownership-transfer helpers, where release-on-all-paths is
-a caller obligation).  ``# lint: allow-file(rule)`` anywhere in a file
+Suppressions: ``# lint: allow(rule): why`` on the offending line
+silences that rule there; on a ``def`` line it silences the rule for
+the whole function.  ``# lint: allow-file(rule)`` anywhere in a file
 silences the rule file-wide (used by the deliberately-unsafe
-baselines).  Every suppression doubles as protocol documentation.
+baselines).  Every suppression must carry a ``: why`` reason — the
+``suppression-without-reason`` meta-rule in
+:mod:`repro.analysis.rulepacks` flags reasonless ones.
 """
 
 from __future__ import annotations
 
 import ast
-import re
 import sys
-from dataclasses import dataclass
 from pathlib import Path
 
+from repro.analysis.common import (
+    Finding,
+    SuppressionIndex,
+    build_parent_map,
+    call_attr as _attr,
+    enclosing_function_lines,
+    is_false_const as _is_false,
+    is_fix as _is_fix,
+    is_io_call as _is_io_call,
+    is_latch_acquire as _is_latch_acquire,
+    is_lock_acquire as _is_lock_acquire,
+    iter_py_files,
+    keyword_arg as _kw,
+    receiver_text as _receiver,
+)
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "iter_py_files",
+    "lint_file",
+    "lint_paths",
+    "main",
+]
+
 RULES: dict[str, str] = {
-    "latch-release": "latch/mutex acquire not released on all paths",
-    "pin-balance": "pin() not paired with unpin()/unfix() on all paths",
+    "latch-release": "latch/mutex acquire not released on all paths "
+    "(interprocedural)",
+    "pin-balance": "pin() not paired with unpin()/unfix() on all paths "
+    "(interprocedural)",
     "io-under-latch": "I/O-class call inside a latch/mutex-held region",
     "lock-wait-under-latch": "blocking lock wait inside a latch-held "
     "region",
@@ -67,107 +95,10 @@ FAULT_CATCHERS = frozenset(
     }
 )
 
-#: method names whose presence in a finally/handler counts as cleanup
-CLEANUP_ATTRS = frozenset(
-    {"release", "unfix", "unpin", "release_thread_fixes", "close"}
-)
-
-_ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(([^)]*)\)")
-_ALLOW_FILE_RE = re.compile(r"#\s*lint:\s*allow-file\(([^)]*)\)")
-
-
-@dataclass(frozen=True)
-class Finding:
-    path: str
-    line: int
-    rule: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
-
 
 # ----------------------------------------------------------------------
-# helpers
-
-
-def _receiver(call: ast.Call) -> str:
-    """Source text of the attribute receiver (``a.b`` for ``a.b.c()``)."""
-    if isinstance(call.func, ast.Attribute):
-        try:
-            return ast.unparse(call.func.value)
-        except Exception:  # pragma: no cover - defensive
-            return ""
-    return ""
-
-
-def _attr(call: ast.Call) -> str:
-    if isinstance(call.func, ast.Attribute):
-        return call.func.attr
-    if isinstance(call.func, ast.Name):
-        return call.func.id
-    return ""
-
-
-def _kw(call: ast.Call, name: str):
-    for kw in call.keywords:
-        if kw.arg == name:
-            return kw.value
-    return None
-
-
-def _is_false(node) -> bool:
-    return isinstance(node, ast.Constant) and node.value is False
-
-
-def _is_latch_acquire(call: ast.Call) -> bool:
-    """``x.acquire(...)`` where the receiver looks like a latch/mutex."""
-    if _attr(call) != "acquire":
-        return False
-    recv = _receiver(call).lower()
-    return any(
-        token in recv for token in ("latch", "lock", "mutex", "cond")
-    ) and "locks" not in recv
-
-
-def _is_lock_acquire(call: ast.Call) -> bool:
-    """Transactional ``LockManager.acquire`` (deadlock-detected side)."""
-    if _attr(call) != "acquire":
-        return False
-    recv = _receiver(call).lower()
-    return "locks" in recv or recv.endswith("lock_manager")
-
-
-def _is_fix(call: ast.Call) -> bool:
-    return _attr(call) == "fix"
-
-
-def _is_pin(call: ast.Call) -> bool:
-    return _attr(call) == "pin"
-
-
-def _is_io_call(call: ast.Call) -> bool:
-    attr = _attr(call)
-    recv = _receiver(call).lower()
-    if attr in {"read", "write"} and "store" in recv:
-        return True
-    if attr == "sleep":  # time.sleep / module-level sleep
-        return True
-    if attr == "_io_stall":
-        return True
-    return False
-
-
-def _contains_cleanup(nodes: list[ast.stmt]) -> bool:
-    for stmt in nodes:
-        for node in ast.walk(stmt):
-            if isinstance(node, ast.Call) and _attr(node) in CLEANUP_ATTRS:
-                return True
-    return False
-
-
-# ----------------------------------------------------------------------
-# per-file checker
+# per-file checker (lexical rules only; latch-release / pin-balance are
+# produced by the interprocedural engine in lint_paths/lint_file)
 
 
 class _FileChecker:
@@ -176,55 +107,15 @@ class _FileChecker:
         self.source = source
         self.tree = tree
         self.findings: list[Finding] = []
-        self.line_allows: dict[int, set[str]] = {}
-        self.file_allows: set[str] = set()
-        for lineno, line in enumerate(source.splitlines(), start=1):
-            m = _ALLOW_RE.search(line)
-            if m:
-                rules = {
-                    r.strip() for r in m.group(1).split(",") if r.strip()
-                }
-                self.line_allows.setdefault(lineno, set()).update(rules)
-            m = _ALLOW_FILE_RE.search(line)
-            if m:
-                self.file_allows.update(
-                    r.strip() for r in m.group(1).split(",") if r.strip()
-                )
-        # parent links + enclosing-function map
-        self.parents: dict[ast.AST, ast.AST] = {}
-        for node in ast.walk(tree):
-            for child in ast.iter_child_nodes(node):
-                self.parents[child] = node
+        self.supp = SuppressionIndex(source)
+        self.parents = build_parent_map(tree)
 
     # -- suppression ----------------------------------------------------
 
     def _allowed(self, rule: str, node: ast.AST) -> bool:
-        if rule in self.file_allows or "*" in self.file_allows:
-            return True
-        lines = {getattr(node, "lineno", 0)}
-        end = getattr(node, "end_lineno", None)
-        if end is not None:
-            lines.add(end)
-        for line in lines:
-            allows = self.line_allows.get(line, ())
-            if rule in allows or "*" in allows:
-                return True
-        # def-level allow covers the whole function body
-        fn = self._enclosing_function(node)
-        while fn is not None:
-            allows = self.line_allows.get(fn.lineno, ())
-            if rule in allows or "*" in allows:
-                return True
-            fn = self._enclosing_function(fn)
-        return False
-
-    def _enclosing_function(self, node: ast.AST):
-        cur = self.parents.get(node)
-        while cur is not None:
-            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                return cur
-            cur = self.parents.get(cur)
-        return None
+        return self.supp.allows(
+            rule, enclosing_function_lines(node, self.parents)
+        )
 
     def _report(self, rule: str, node: ast.AST, message: str) -> None:
         if self._allowed(rule, node):
@@ -233,112 +124,12 @@ class _FileChecker:
             Finding(str(self.path), node.lineno, rule, message)
         )
 
-    # -- structural protection ------------------------------------------
-
-    def _protected(self, node: ast.AST) -> bool:
-        """True if the acquisition at ``node`` is structurally released.
-
-        Accepted shapes: the call is inside the body of a ``try`` whose
-        ``finally`` or handlers contain a cleanup call; the statement
-        *immediately after* the call's statement is such a ``try`` (the
-        canonical ``x = acquire(); try: ... finally: release(x)``
-        idiom); or the call sits in a ``with`` item (context manager
-        owns the release).
-        """
-        # inside a with-item: the manager releases
-        cur: ast.AST | None = node
-        while cur is not None:
-            parent = self.parents.get(cur)
-            if isinstance(parent, ast.withitem):
-                return True
-            if isinstance(parent, ast.Try):
-                in_body = any(
-                    cur is stmt or self._is_descendant(cur, stmt)
-                    for stmt in parent.body
-                )
-                if in_body and self._try_cleans_up(parent):
-                    return True
-            cur = parent
-        # next-sibling try/finally, checked at every enclosing statement
-        # level up to the function boundary: covers both
-        #   x = acquire(); try: ... finally: release(x)
-        # and
-        #   try: x = acquire() except PageError: return
-        #   try: ... finally: release(x)
-        cur = node
-        while cur is not None and not isinstance(
-            cur, (ast.FunctionDef, ast.AsyncFunctionDef)
-        ):
-            if isinstance(cur, ast.stmt):
-                parent = self.parents.get(cur)
-                for fieldname in ("body", "orelse", "finalbody"):
-                    block = getattr(parent, fieldname, None)
-                    if isinstance(block, list) and cur in block:
-                        idx = block.index(cur)
-                        if idx + 1 < len(block):
-                            nxt = block[idx + 1]
-                            if isinstance(nxt, ast.Try) and (
-                                self._try_cleans_up(nxt)
-                            ):
-                                return True
-            cur = self.parents.get(cur)
-        return False
-
-    @staticmethod
-    def _try_cleans_up(try_node: ast.Try) -> bool:
-        if _contains_cleanup(try_node.finalbody):
-            return True
-        for handler in try_node.handlers:
-            if _contains_cleanup(handler.body):
-                return True
-        return False
-
-    def _is_descendant(self, node: ast.AST, ancestor: ast.AST) -> bool:
-        cur = node
-        while cur is not None:
-            if cur is ancestor:
-                return True
-            cur = self.parents.get(cur)
-        return False
-
     # -- passes ---------------------------------------------------------
 
     def run(self) -> list[Finding]:
-        self._check_acquire_release()
         self._check_handlers()
         self._check_regions()
         return self.findings
-
-    def _check_acquire_release(self) -> None:
-        for node in ast.walk(self.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            if _is_latch_acquire(node) or _is_fix(node):
-                nowait = _kw(node, "nowait")
-                if nowait is not None and not _is_false(nowait):
-                    # conditional grant: the caller must branch on the
-                    # result; structural pairing can't be checked here
-                    continue
-                if not self._protected(node):
-                    what = (
-                        f"{_receiver(node)}.{_attr(node)}" or _attr(node)
-                    )
-                    self._report(
-                        "latch-release",
-                        node,
-                        f"`{what}()` is not released on all paths "
-                        "(wrap in try/finally, a context manager, or "
-                        "follow immediately with a try whose cleanup "
-                        "releases it)",
-                    )
-            elif _is_pin(node):
-                if not self._protected(node):
-                    self._report(
-                        "pin-balance",
-                        node,
-                        f"`{_receiver(node)}.pin()` has no structurally "
-                        "paired unpin()/unfix() on all exit paths",
-                    )
 
     def _check_handlers(self) -> None:
         for node in ast.walk(self.tree):
@@ -533,39 +324,44 @@ class _RegionScanner:
 # driver
 
 
-def iter_py_files(paths: list[str | Path]) -> list[Path]:
-    files: list[Path] = []
-    for raw in paths:
-        path = Path(raw)
-        if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
-        elif path.suffix == ".py":
-            files.append(path)
-    return files
+def _lexical_findings(files: list[Path]) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in files:
+        source = path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    str(path),
+                    exc.lineno or 0,
+                    "parse-error",
+                    f"cannot parse: {exc.msg}",
+                )
+            )
+            continue
+        findings.extend(_FileChecker(path, source, tree).run())
+    return findings
+
+
+def lint_files(files: list[Path]) -> list[Finding]:
+    """Lexical rules per file + one interprocedural type-state run
+    over the whole file set."""
+    from repro.analysis.typestate import check_paths
+
+    findings = _lexical_findings(files)
+    ts_findings, _engine = check_paths(files)
+    findings.extend(ts_findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
 
 
 def lint_file(path: Path) -> list[Finding]:
-    source = path.read_text()
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [
-            Finding(
-                str(path),
-                exc.lineno or 0,
-                "parse-error",
-                f"cannot parse: {exc.msg}",
-            )
-        ]
-    return _FileChecker(path, source, tree).run()
+    return lint_files([Path(path)])
 
 
 def lint_paths(paths: list[str | Path]) -> list[Finding]:
-    findings: list[Finding] = []
-    for path in iter_py_files(paths):
-        findings.extend(lint_file(path))
-    findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return findings
+    return lint_files(iter_py_files(paths))
 
 
 def main(argv: list[str] | None = None) -> int:

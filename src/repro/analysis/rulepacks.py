@@ -1,0 +1,404 @@
+"""Cluster/server rule packs and the suppression meta-rule.
+
+These rules guard the scale-out and serving layers the same way the
+latch rules guard the tree core: each encodes a protocol invariant
+that was violated (or nearly violated) at least once during
+development, phrased as a calibrated AST heuristic that is zero-noise
+on the shipped tree.
+
+Cluster pack
+    ``scatter-result-unchecked``
+        A ``_scatter``/``scatter`` call whose ack map is discarded
+        (bare expression statement).  The ack map is the only evidence
+        of which partitions applied the operation; dropping it turns a
+        partial failure into silent divergence.
+    ``frame-without-crc``
+        A function that packs a wire header and sends it on a
+        channel/socket without ever computing a CRC.  Every frame on
+        the worker RPC channel carries ``zlib.crc32`` (a torn frame
+        must look like a dead worker, not a corrupt command).
+    ``supervisor-blocking``
+        An unbounded ``process/thread.join()`` in a cluster module.
+        The supervisor is the hang detector of last resort; if *it*
+        blocks forever on a zombie, the whole cluster wedges.
+
+Server pack
+    ``deadline-not-forwarded``
+        A function that receives a deadline budget (``budget`` /
+        ``deadline`` / ``timeout`` parameter) and calls into a
+        downstream backend/cluster/rpc/channel receiver without
+        passing anything derived from it.  A dropped budget re-opens
+        the queue-wait + descent + RPC pile-up the admission layer
+        exists to prevent (taint is propagated through one level of
+        local assignment, so ``t = clamp(budget); x.call(timeout=t)``
+        is recognized).
+    ``retry-without-backoff``
+        An attempt/retry loop that catches a failure and goes around
+        again without any sleep/backoff call.  Tight retry loops
+        defeat the ``RetryLater`` backpressure hints.
+    ``unbounded-queue``
+        A ``deque()``/``Queue()`` instance attribute with no
+        ``maxlen``/``maxsize`` in a server/cluster module whose class
+        neither drains it (``popleft``/``get``) nor length-checks it —
+        an admission-bypass buffer that grows without bound.
+
+Meta
+    ``suppression-without-reason``
+        Every surviving ``# lint: allow(rule)`` must carry a
+        ``: reason`` string; the suppression budget is audited in CI
+        and a reasonless entry is unreviewable.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.common import (
+    Finding,
+    SuppressionIndex,
+    build_parent_map,
+    call_attr,
+    enclosing_function_lines,
+    keyword_arg,
+    receiver_text,
+)
+
+CLUSTER_RULES: dict[str, str] = {
+    "scatter-result-unchecked": "scatter ack map discarded",
+    "frame-without-crc": "wire frame sent without CRC",
+    "supervisor-blocking": "unbounded join() in a cluster module",
+}
+
+SERVER_RULES: dict[str, str] = {
+    "deadline-not-forwarded": "deadline budget dropped before a "
+    "downstream call",
+    "retry-without-backoff": "retry loop without sleep/backoff",
+    "unbounded-queue": "unbounded queue attribute in the serving path",
+}
+
+META_RULES: dict[str, str] = {
+    "suppression-without-reason": "# lint: allow(...) without a "
+    "`: reason`",
+}
+
+#: downstream receivers a deadline must survive into
+_DOWNSTREAM_TOKENS = ("backend", "cluster", "rpc", "channel", "client")
+_DEADLINE_PARAMS = frozenset(
+    {"budget", "deadline", "timeout", "timeout_s", "deadline_s"}
+)
+_DEADLINE_KWARGS = frozenset(
+    {"budget", "deadline", "timeout", "timeout_s", "deadline_s"}
+)
+_SEND_ATTRS = frozenset({"send", "sendall", "send_bytes"})
+_SLEEP_TOKENS = ("sleep", "backoff", "wait")
+
+
+def _unparse(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - synthetic/degenerate AST
+        return ""
+
+
+def _attr_chain(call: ast.Call) -> str:
+    """Dotted receiver chain of a call, ignoring subscripts and call
+    arguments (``self.metrics.counter("cluster.x").inc()`` has the
+    chain ``self.metrics.counter`` for the ``.inc`` — the *string*
+    argument must not make it look like a cluster receiver)."""
+    node = call.func
+    parts: list[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            break
+        else:
+            break
+    return ".".join(reversed(parts))
+
+
+def _is_cluster_path(path: Path) -> bool:
+    return "cluster" in path.parts
+
+
+def _is_server_scope(path: Path) -> bool:
+    return "server" in path.parts or "cluster" in path.parts
+
+
+class _PackChecker:
+    def __init__(self, path: Path, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.findings: list[Finding] = []
+        self.supp = SuppressionIndex(source)
+        self.parents = build_parent_map(tree)
+
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        lines = enclosing_function_lines(node, self.parents)
+        if self.supp.allows(rule, lines):
+            return
+        self.findings.append(
+            Finding(str(self.path), node.lineno, rule, message)
+        )
+
+    # -- cluster pack ---------------------------------------------------
+
+    def check_scatter_result(self) -> None:
+        for node in ast.walk(self.tree):
+            if (
+                isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Call)
+                and call_attr(node.value) in ("scatter", "_scatter")
+            ):
+                self._report(
+                    "scatter-result-unchecked",
+                    node,
+                    "scatter ack map discarded; a partial failure "
+                    "becomes silent divergence — bind the result and "
+                    "check coverage",
+                )
+
+    def check_frame_crc(self) -> None:
+        for fn in ast.walk(self.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            packs = False
+            send_node = None
+            mentions_crc = False
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call):
+                    attr = call_attr(node)
+                    if attr == "pack":
+                        packs = True
+                    if attr in _SEND_ATTRS and any(
+                        t in receiver_text(node).lower()
+                        for t in ("sock", "conn", "chan", "pipe")
+                    ):
+                        send_node = node
+                if isinstance(node, ast.Name) and "crc" in node.id.lower():
+                    mentions_crc = True
+                if (
+                    isinstance(node, ast.Attribute)
+                    and "crc" in node.attr.lower()
+                ):
+                    mentions_crc = True
+            if packs and send_node is not None and not mentions_crc:
+                self._report(
+                    "frame-without-crc",
+                    send_node,
+                    f"`{fn.name}` packs a wire frame and sends it "
+                    "without a CRC; a torn frame must fail the "
+                    "checksum, not parse as garbage",
+                )
+
+    def check_supervisor_blocking(self) -> None:
+        if not _is_cluster_path(self.path):
+            return
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_attr(node) != "join":
+                continue
+            recv = receiver_text(node).lower()
+            if not any(
+                t in recv for t in ("process", "thread", "worker")
+            ):
+                continue
+            if node.args or keyword_arg(node, "timeout") is not None:
+                continue
+            self._report(
+                "supervisor-blocking",
+                node,
+                "unbounded join() in a cluster module; a zombie "
+                "worker wedges the supervisor — pass timeout=",
+            )
+
+    # -- server pack ----------------------------------------------------
+
+    def check_deadline_forwarded(self) -> None:
+        for fn in ast.walk(self.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            params = {
+                a.arg
+                for a in (
+                    fn.args.args
+                    + fn.args.posonlyargs
+                    + fn.args.kwonlyargs
+                )
+            }
+            tainted = params & _DEADLINE_PARAMS
+            if not tainted:
+                continue
+            # propagate taint through one level of local assignment
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign) and isinstance(
+                    node.targets[0], ast.Name
+                ):
+                    text = _unparse(node.value)
+                    if any(t in text for t in tainted):
+                        tainted = tainted | {node.targets[0].id}
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not isinstance(node.func, ast.Attribute):
+                    continue  # RPCs are method calls; a bare name is a
+                    # constructor/helper (ClusterError, PipelinedClient)
+                if not node.args and not node.keywords:
+                    continue  # zero-arg probes can't carry a budget
+                recv = _attr_chain(node).lower()
+                if not any(t in recv for t in _DOWNSTREAM_TOKENS):
+                    continue
+                if "router" in recv:
+                    continue  # routing tables are local, not RPCs
+                if call_attr(node) in (
+                    "close",
+                    "health",
+                    "snapshot",
+                    "shutdown",
+                ):
+                    continue
+                text = _unparse(node)
+                if any(t in text for t in tainted) or any(
+                    kw.arg in _DEADLINE_KWARGS
+                    for kw in node.keywords
+                    if kw.arg
+                ):
+                    continue
+                self._report(
+                    "deadline-not-forwarded",
+                    node,
+                    f"`{fn.name}` holds a deadline budget "
+                    f"({', '.join(sorted(tainted & _DEADLINE_PARAMS))}) "
+                    "but this downstream call drops it; forward the "
+                    "remaining budget as timeout=",
+                )
+
+    def check_retry_backoff(self) -> None:
+        for node in ast.walk(self.tree):
+            loop_var = ""
+            if isinstance(node, ast.For) and isinstance(
+                node.target, ast.Name
+            ):
+                loop_var = node.target.id.lower()
+            elif isinstance(node, ast.While):
+                loop_var = _unparse(node.test).lower()
+            else:
+                continue
+            if not any(
+                t in loop_var for t in ("attempt", "retr", "tries")
+            ):
+                continue
+            catches = any(
+                isinstance(n, ast.ExceptHandler)
+                for stmt in node.body
+                for n in ast.walk(stmt)
+            )
+            if not catches:
+                continue
+            sleeps = False
+            for stmt in node.body:
+                for n in ast.walk(stmt):
+                    if isinstance(n, ast.Call) and any(
+                        t in call_attr(n).lower() for t in _SLEEP_TOKENS
+                    ):
+                        sleeps = True
+            if not sleeps:
+                self._report(
+                    "retry-without-backoff",
+                    node,
+                    "retry loop never sleeps between attempts; honor "
+                    "the RetryLater hint or add bounded backoff",
+                )
+
+    def check_unbounded_queue(self) -> None:
+        if not _is_server_scope(self.path):
+            return
+        for cls in ast.walk(self.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            cls_text = _unparse(cls)
+            for node in ast.walk(cls):
+                value = None
+                target = None
+                if isinstance(node, ast.Assign):
+                    value, target = node.value, node.targets[0]
+                elif isinstance(node, ast.AnnAssign):
+                    value, target = node.value, node.target
+                if not isinstance(value, ast.Call):
+                    continue
+                if call_attr(value) not in ("deque", "Queue"):
+                    continue
+                if value.args or any(
+                    kw.arg in ("maxlen", "maxsize")
+                    for kw in value.keywords
+                ):
+                    continue
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                attr = target.attr
+                drained = (
+                    "popleft" in cls_text
+                    or f"{attr}.get(" in cls_text
+                    or f"len(self.{attr})" in cls_text
+                )
+                if not drained:
+                    self._report(
+                        "unbounded-queue",
+                        node,
+                        f"`self.{attr}` is an unbounded queue the "
+                        "class never drains or length-checks; bound "
+                        "it or admission-check producers",
+                    )
+
+    # -- meta -----------------------------------------------------------
+
+    def check_suppression_reasons(self) -> None:
+        for lineno, rules, has_reason, _file_level in self.supp.entries:
+            if has_reason:
+                continue
+            self.findings.append(
+                Finding(
+                    str(self.path),
+                    lineno,
+                    "suppression-without-reason",
+                    "suppression for "
+                    f"{', '.join(rules) or '<empty>'} carries no "
+                    "`: reason`; justify it or remove it",
+                )
+            )
+
+    def run(self) -> list[Finding]:
+        self.check_scatter_result()
+        self.check_frame_crc()
+        self.check_supervisor_blocking()
+        self.check_deadline_forwarded()
+        self.check_retry_backoff()
+        self.check_unbounded_queue()
+        self.check_suppression_reasons()
+        return self.findings
+
+
+def check_files(files: list[Path]) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in files:
+        source = path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            continue  # lint reports parse errors
+        findings.extend(_PackChecker(path, source, tree).run())
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings

@@ -409,7 +409,7 @@ class LinkTree(BaselineTree):
             except _Restart:
                 self.stats.bump("restarts")
 
-    def _try_insert(self, key: object, rid: object) -> None:  # lint: allow(latch-release): lock-coupling descent; leaf frame handed down the function
+    def _try_insert(self, key: object, rid: object) -> None:
         hints: list[PageId] = []  # visited ancestors, for parent fixing
         pid = self.root_pid
         memo = self._nsn_current()
@@ -435,7 +435,7 @@ class LinkTree(BaselineTree):
         frame.dirty = True
         self.pool.unfix(frame)
 
-    def _follow_chain(self, frame: Frame, memo: int, key: object) -> Frame:  # lint: allow(latch-release): rightlink crabbing; best frame transfers to caller
+    def _follow_chain(self, frame: Frame, memo: int, key: object) -> Frame:
         """Walk the split chain delimited by ``memo`` and keep the
         min-penalty node latched (at most two latches, left-to-right)."""
         mode = frame.latch.held_by_me() or LatchMode.X
@@ -463,7 +463,7 @@ class LinkTree(BaselineTree):
             self.pool.unfix(current)
         return best
 
-    def _fix_parent_x(self, child_pid: PageId, hints: list[PageId]) -> Frame:  # lint: allow(latch-release): walk returns the X-latched parent to the caller
+    def _fix_parent_x(self, child_pid: PageId, hints: list[PageId]) -> Frame:
         """X-latch the node currently holding ``child_pid``'s downlink."""
         pid = hints[-1] if hints else self.root_pid
         while pid != NO_PAGE:
@@ -639,7 +639,7 @@ class CouplingTree(_HeldPathTree):
         self._search_coupled(self.root_pid, None, query, results)
         return results
 
-    def _search_coupled(  # lint: allow(latch-release): latch coupling ACROSS the child fetch is this baseline's defining (unsafe) behavior
+    def _search_coupled(
         self,
         pid: PageId,
         parent: Frame | None,

@@ -52,6 +52,7 @@ from repro.errors import (
     PartitionTimeoutError,
     RpcTimeoutError,
     WorkerFaultError,
+    best_effort,
 )
 from repro.obs.metrics import MetricsRegistry, merge_snapshots
 
@@ -515,13 +516,22 @@ class PartitionedDatabase:
         spec = TreeSpec(
             extension=extension, unique=unique, nsn_source=nsn_source
         )
-        self._scatter(
+        acked = self._scatter(
             list(range(self.partitions)),
             {
                 p: ("create_tree", (name, spec))
                 for p in range(self.partitions)
             },
         )
+        missing = set(range(self.partitions)) - set(acked)
+        if missing:
+            # DDL must be all-or-nothing before the catalog admits the
+            # tree; a partition that silently missed it would reject
+            # every routed op later.
+            raise ClusterError(
+                f"create_tree {name!r}: partitions {sorted(missing)} "
+                "did not ack"
+            )
         self.catalog[name] = spec
         self._write_manifest()
 
@@ -769,10 +779,13 @@ class PartitionedDatabase:
             return
         self._closed = True
         for p in range(self.partitions):
-            try:
-                self._call(p, "shutdown", None)
-            except (PartitionFailedError, ChannelClosedError):
-                pass  # lint: allow(swallowed-fault): already-dead worker during teardown
+            best_effort(
+                self._call,
+                p,
+                "shutdown",
+                None,
+                only=(PartitionFailedError, ChannelClosedError),
+            )
         self.supervisor.shutdown()
         if self._owns_data_dir:
             import shutil

@@ -41,6 +41,7 @@ from repro.errors import (
     ChannelClosedError,
     FrameCorruptionError,
     RpcTimeoutError,
+    best_effort,
 )
 
 #: frame header: payload length + CRC32 over the payload
@@ -161,17 +162,11 @@ class FrameChannel:
 
     def _settimeout_quietly(self, timeout: float | None) -> None:
         """Reset the socket timeout; a closed socket is already fatal."""
-        try:
-            self._sock.settimeout(timeout)
-        except OSError:
-            pass  # lint: allow(swallowed-fault): socket already closed; the surrounding call surfaces it
+        best_effort(self._sock.settimeout, timeout, only=(OSError,))
 
     def close(self) -> None:
         """Close this endpoint (idempotent)."""
-        try:
-            self._sock.close()
-        except OSError:
-            pass  # lint: allow(swallowed-fault): double-close is benign
+        best_effort(self._sock.close, only=(OSError,))
 
     def fileno(self) -> int:
         """Underlying descriptor (inherited by forked workers)."""

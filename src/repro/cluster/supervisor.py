@@ -122,7 +122,9 @@ class Supervisor:
         handle = self.handle(partition)
         if handle.process.is_alive():
             os.kill(handle.process.pid, signal.SIGKILL)
-            handle.process.join()
+            # bounded reap: a SIGKILLed child that still won't join is
+            # kernel-stuck; wedging the supervisor on it helps nobody
+            handle.process.join(timeout=5)
         handle.dead = True
         handle.channel.close()
 

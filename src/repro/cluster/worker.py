@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from repro.cluster.rpc import FrameChannel, error_response, ok_response
 from repro.cluster.shadow import WalShadow
 from repro.database import Database
-from repro.errors import ChannelClosedError
+from repro.errors import ChannelClosedError, best_effort
 from repro.gist.checker import check_tree
 from repro.wal.records import CommitRecord
 
@@ -230,10 +230,7 @@ class PartitionWorker:
                 else:
                     raise ValueError(f"unknown batch op {kind!r}")
         except BaseException:
-            try:
-                db.rollback(txn)
-            except Exception:
-                pass  # lint: allow(swallowed-fault): surfacing the original failure; rollback is best-effort
+            best_effort(db.rollback, txn)
             raise
         mark = max(1, db.log.end_lsn)
         db.commit(txn)

@@ -271,3 +271,23 @@ class RemoteOpError(ServerError):
     def __init__(self, kind: str, message: str) -> None:
         super().__init__(f"{kind}: {message}")
         self.kind = kind
+
+
+def best_effort(fn, /, *args, only=(Exception,), **kwargs):
+    """Run a cleanup/teardown step whose failure must not mask the
+    real outcome; returns whether it succeeded.
+
+    The canonical use is rollback-after-failure: the original
+    exception is already propagating and a rollback that *also* fails
+    (dead worker, closed socket, torn page mid-abort) has nothing
+    better to report.  Pass ``only=(...)`` to swallow a narrower set —
+    anything else still propagates, so a genuine bug in the cleanup
+    path cannot hide behind it.  The ``swallowed-fault`` rule treats
+    call sites of this helper as opted-in by construction; the
+    ``except`` below is the one audited swallow.
+    """
+    try:
+        fn(*args, **kwargs)
+    except only:  # lint: allow(swallowed-fault): the helper's contract IS best-effort; failures return False for callers that count them
+        return False
+    return True

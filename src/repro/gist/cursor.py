@@ -193,7 +193,7 @@ class SearchCursor:
     # ------------------------------------------------------------------
     # node visits
     # ------------------------------------------------------------------
-    def _visit(self, entry: StackEntry) -> None:  # lint: allow(latch-release): rescan loop unfixes per branch; fault unwinds swept by _fault_cleanup
+    def _visit(self, entry: StackEntry) -> None:
         tree, txn = self.tree, self.txn
         pool = tree.db.pool
         pid = entry.pid

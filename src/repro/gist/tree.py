@@ -274,7 +274,7 @@ class GiST:
             page.pid, page.nsn, self._hint_epoch
         )
 
-    def _try_hinted_leaf(  # lint: allow(latch-release): returns a latched frame (ownership transfers to caller); fault unwinds swept by _fault_cleanup
+    def _try_hinted_leaf(
         self, txn: Transaction, key: object
     ) -> Frame | None:
         """Validate the thread's insert hint for ``key``.
@@ -1467,7 +1467,7 @@ class GiST:
         for entry in stack:
             self._release_signaling(txn, entry.pid)
 
-    def _locate_leaf(  # lint: allow(latch-release): hand-over-hand descent; the returned leaf frame is latched for the caller
+    def _locate_leaf(
         self, txn: Transaction, key: object
     ) -> tuple[Frame, list[StackEntry]]:
         """Figure 4's ``locateLeaf``: min-penalty descent, no coupling.
@@ -1545,7 +1545,7 @@ class GiST:
             pool.unfix(frame)
             pid, memo = child_entry.pid, child_entry.memo
 
-    def _choose_in_chain(  # lint: allow(latch-release): rightlink crabbing holds ≤2 latches left-to-right; best frame transfers to caller
+    def _choose_in_chain(
         self, txn: Transaction, frame: Frame, memo: int, key: object
     ) -> Frame:
         """Walk the rightlink chain delimited by ``memo``; keep the
@@ -1971,7 +1971,7 @@ class GiST:
     # ------------------------------------------------------------------
     # parent location (back-up phases)
     # ------------------------------------------------------------------
-    def _fix_parent(  # lint: allow(latch-release): rightlink walk returns the X-latched parent to the caller
+    def _fix_parent(
         self, txn: Transaction, child_pid: PageId, stack: list[StackEntry]
     ) -> Frame:
         """X-latch the node currently holding ``child_pid``'s downlink.
@@ -2001,7 +2001,7 @@ class GiST:
             )
         return frame
 
-    def _redescend_to_parent(self, child_pid: PageId) -> Frame | None:  # lint: allow(latch-release): BFS probe latches one node at a time; the match transfers out latched
+    def _redescend_to_parent(self, child_pid: PageId) -> Frame | None:
         """Breadth-first hunt for the downlink of ``child_pid``.
 
         Last-resort path used after a root split changed the shape above
@@ -2336,7 +2336,7 @@ class GiST:
         finally:
             self.db.pool.unfix(frame)
 
-    def _locate_for_undo(  # lint: allow(latch-release): rightlink walk returns the X-latched leaf for logical undo
+    def _locate_for_undo(
         self, start_pid: PageId, key: object, rid: object
     ) -> Frame:
         """Find the leaf currently holding ``(key, rid)``, starting from
@@ -2365,7 +2365,7 @@ class GiST:
             f"from page {start_pid} in tree {self.name!r}"
         )
 
-    def _descend_for_entry(self, key: object, rid: object) -> Frame | None:  # lint: allow(latch-release): whole-tree hunt; the matching leaf transfers out latched
+    def _descend_for_entry(self, key: object, rid: object) -> Frame | None:
         """Search the whole tree for a specific (key, rid) leaf entry,
         returning its X-latched leaf (logical-undo fallback path)."""
         pool = self.db.pool

@@ -28,6 +28,7 @@ from repro.errors import (
     LockTimeoutError,
     TransactionAbort,
     TransientIOError,
+    best_effort,
 )
 from repro.gist.tree import GiST
 from repro.txn.transaction import IsolationLevel
@@ -269,10 +270,7 @@ class TransactionalDriver:
             raise ValueError(f"unknown op kind {op.kind!r}")
 
     def _safe_rollback(self, txn) -> None:
-        try:
-            self.db.rollback(txn)
-        except Exception:
-            pass  # lint: allow(swallowed-fault): best-effort rollback; the op already failed
+        best_effort(self.db.rollback, txn)
 
 
 class ClusterDriver:

@@ -21,7 +21,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.database import Database
-from repro.errors import TransactionAbort
+from repro.errors import TransactionAbort, best_effort
 from repro.ext.btree import BTreeExtension, Interval
 from repro.txn.transaction import IsolationLevel
 
@@ -108,15 +108,9 @@ def run_phantom_campaign(
                 report.writer_commits += 1
             except TransactionAbort:
                 report.writer_aborts += 1
-                try:
-                    db.rollback(txn)
-                except Exception:
-                    pass  # lint: allow(swallowed-fault): best-effort rollback
+                best_effort(db.rollback, txn)
             except Exception:
-                try:
-                    db.rollback(txn)
-                except Exception:
-                    pass  # lint: allow(swallowed-fault): best-effort rollback
+                best_effort(db.rollback, txn)
 
     threads = [
         threading.Thread(target=writer, args=(w,), daemon=True) for w in range(writers)
@@ -136,10 +130,7 @@ def run_phantom_campaign(
                 db.commit(txn)
             except TransactionAbort:
                 report.reader_aborts += 1
-                try:
-                    db.rollback(txn)
-                except Exception:
-                    pass  # lint: allow(swallowed-fault): best-effort rollback
+                best_effort(db.rollback, txn)
                 continue
             report.probes += 1
             if first != second:

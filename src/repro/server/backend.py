@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from repro.errors import (
     CircuitOpenError,
+    best_effort,
     PartitionFailedError,
     PartitionTimeoutError,
     RetryLater,
@@ -114,10 +115,7 @@ class LocalBackend:
                 else:
                     raise ValueError(f"unknown batch op {kind!r}")
         except BaseException:
-            try:
-                db.rollback(txn)
-            except Exception:
-                pass  # lint: allow(swallowed-fault): surfacing the original failure; rollback is best-effort
+            best_effort(db.rollback, txn)
             raise
         db.commit(txn)
         return {

@@ -50,6 +50,7 @@ from repro.errors import (
     RetryLater,
     RpcTimeoutError,
     SessionError,
+    best_effort,
 )
 from repro.obs.flightrec import FlightRecorder
 from repro.obs.metrics import MetricsRegistry, merge_snapshots
@@ -213,10 +214,7 @@ class DatabaseServer:
             return
         self._stopping = True
         if self._listener is not None:
-            try:
-                self._listener.close()
-            except OSError:
-                pass  # lint: allow(swallowed-fault): listener may already be closed
+            best_effort(self._listener.close, only=(OSError,))
         deadline = time.monotonic() + _DRAIN_GRACE
         while time.monotonic() < deadline and any(
             len(q) for q in self.queues.values()

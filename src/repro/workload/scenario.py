@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from time import perf_counter, perf_counter_ns
 
 from repro.database import Database
-from repro.errors import KeyNotFoundError
+from repro.errors import KeyNotFoundError, best_effort
 from repro.obs.history import (
     HistoryRecorder,
     OracleReport,
@@ -239,10 +239,7 @@ def _run_scenario_body(
                     outcome = [rid for _key, rid in found]
                 db.commit(txn)
             except BaseException:
-                try:
-                    db.rollback(txn)
-                except Exception:
-                    pass  # lint: allow(swallowed-fault): abort cleanup
+                best_effort(db.rollback, txn)
                 raise
             resp = perf_counter_ns()
             history.add(

@@ -1,0 +1,10 @@
+"""Broken fixture: an unbounded join() in a cluster module.
+
+If the supervisor can block forever on one zombie, the whole cluster
+wedges with it.  Must trigger exactly ``supervisor-blocking``.
+"""
+
+
+def reap(handle):
+    handle.process.join()
+    handle.dead = True

@@ -1,0 +1,15 @@
+"""Broken fixture: an unbounded queue attribute nobody ever drains.
+
+An admission-bypass buffer that grows without bound.  Must trigger
+exactly ``unbounded-queue``.
+"""
+
+from collections import deque
+
+
+class Mailbox:
+    def __init__(self):
+        self.pending = deque()
+
+    def offer(self, item):
+        self.pending.append(item)

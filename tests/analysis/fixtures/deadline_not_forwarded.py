@@ -1,0 +1,10 @@
+"""Broken fixture: a deadline budget dropped before a downstream call.
+
+The caller's deadline never reaches the backend, so the request can
+outlive the client that asked for it.  Must trigger exactly
+``deadline-not-forwarded``.
+"""
+
+
+def relay(backend, tree, key, deadline):
+    return backend.get(tree, key)

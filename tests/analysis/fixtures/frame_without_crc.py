@@ -1,0 +1,14 @@
+"""Broken fixture: a wire frame packed and sent with no checksum.
+
+A torn frame must fail a CRC, not parse as a garbage command.  Must
+trigger exactly ``frame-without-crc``.
+"""
+
+import struct
+
+_HEADER = struct.Struct("!I")
+
+
+def send_frame(sock, payload):
+    header = _HEADER.pack(len(payload))
+    sock.sendall(header + payload)

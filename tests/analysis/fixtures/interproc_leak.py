@@ -1,0 +1,22 @@
+"""Broken fixture: an interprocedural latch leak.
+
+``_descend`` transfers a held frame to its caller (that part is fine —
+its summary says ``returns_held``); ``lookup`` then drops the frame on
+the floor.  Only the interprocedural type-state pass can see this —
+lexically, ``_descend`` looks like the leak and ``lookup`` looks
+innocent.  Must trigger exactly ``latch-release``, in ``lookup``.
+"""
+
+
+class Tree:
+    def __init__(self, pool):
+        self.pool = pool
+
+    def _descend(self, pid):
+        frame = self.pool.fix(pid)
+        return frame
+
+    def lookup(self, pid):
+        frame = self._descend(pid)
+        value = frame.page.value
+        return value

@@ -1,0 +1,30 @@
+"""Broken fixture: two methods acquire the same pair in opposite order.
+
+The classic ABBA shape, visible *statically*: ``forward`` orders
+latch → mutex, ``backward`` orders mutex → latch.  The static
+lock-order graph must contain an unblessed cycle over the two roles.
+"""
+
+
+class Widget:
+    def forward(self):
+        self.a_latch.acquire(1)
+        try:
+            self.b_mutex.acquire()
+            try:
+                self.work()
+            finally:
+                self.b_mutex.release()
+        finally:
+            self.a_latch.release()
+
+    def backward(self):
+        self.b_mutex.acquire()
+        try:
+            self.a_latch.acquire(1)
+            try:
+                self.work()
+            finally:
+                self.a_latch.release()
+        finally:
+            self.b_mutex.release()

@@ -1,0 +1,9 @@
+"""Broken fixture: a suppression comment with no ``: reason``.
+
+An unjustified suppression is unreviewable.  Must trigger exactly
+``suppression-without-reason``.
+"""
+
+
+def helper(x):
+    return x + 1  # lint: allow(io-under-latch)

@@ -1,0 +1,14 @@
+"""Broken fixture: a retry loop that never sleeps between attempts.
+
+A tight retry loop defeats the server's RetryLater backpressure.
+Must trigger exactly ``retry-without-backoff``.
+"""
+
+
+def call_until_ok(chan, payload):
+    for attempt in range(5):
+        try:
+            return chan.call(payload)
+        except TimeoutError:
+            continue
+    raise TimeoutError("gave up")

@@ -1,0 +1,14 @@
+"""Broken fixture: a scatter whose ack map is discarded.
+
+Which partitions actually applied the broadcast?  Nobody knows — a
+partial failure becomes silent divergence.  Must trigger exactly
+``scatter-result-unchecked``.
+"""
+
+
+class Coordinator:
+    def __init__(self, cluster):
+        self.cluster = cluster
+
+    def broadcast(self, targets, ops):
+        self.cluster._scatter(list(targets), dict(ops))

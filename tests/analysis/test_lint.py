@@ -15,6 +15,7 @@ SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
 #: fixture file -> the one rule it must trigger (and nothing else)
 EXPECTED = {
     "leaked_latch.py": "latch-release",
+    "interproc_leak.py": "latch-release",
     "sleep_under_latch.py": "io-under-latch",
     "unbalanced_pin.py": "pin-balance",
     "lock_wait_under_latch.py": "lock-wait-under-latch",

@@ -1,0 +1,141 @@
+"""Mutation-based evidence that the interprocedural type-state pass is
+load-bearing: the shipped baselines verify clean with ZERO
+suppressions, and re-introducing the classic latch-protocol bugs —
+dropping a release that only a summary can connect to its acquire —
+is caught."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.typestate import check_paths
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+SIMPLETREE = SRC / "baselines" / "simpletree.py"
+
+
+def _mutate(tmp_path: Path, old: str, new: str) -> Path:
+    source = SIMPLETREE.read_text()
+    assert source.count(old) == 1, f"mutation anchor drifted: {old!r}"
+    path = tmp_path / "simpletree.py"
+    path.write_text(source.replace(old, new))
+    return path
+
+
+def test_shipped_baselines_verify_without_suppressions(tmp_path: Path) -> None:
+    # the whole point of the interprocedural pass: crabbing helpers
+    # that transfer held frames verify with no `# lint: allow` at all
+    assert "lint: allow(latch-release)" not in SIMPLETREE.read_text()
+    findings, _engine = check_paths([SIMPLETREE])
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+def test_dropped_final_unfix_is_caught(tmp_path: Path) -> None:
+    # LinkTree._try_insert: the leaf handed back by _follow_chain is
+    # unfixed after the entry lands; deleting that release leaks a
+    # frame only the summary chain can trace to its acquire
+    path = _mutate(
+        tmp_path,
+        "        page.add_entry(LeafEntry(key, rid))\n"
+        "        frame.dirty = True\n"
+        "        self.pool.unfix(frame)\n",
+        "        page.add_entry(LeafEntry(key, rid))\n"
+        "        frame.dirty = True\n",
+    )
+    findings, _engine = check_paths([path])
+    assert any(f.rule == "latch-release" for f in findings), [
+        str(f) for f in findings
+    ]
+
+
+def test_dropped_descent_unfix_is_caught(tmp_path: Path) -> None:
+    # LinkTree._try_insert's descent: the current frame must be
+    # unfixed before re-fixing the chosen child; deleting it means the
+    # next loop iteration rebinds away the last reference to a held
+    # frame (the lost-on-rebind check)
+    path = _mutate(
+        tmp_path,
+        "            memo = self._nsn_current()\n"
+        "            pid = best.child\n"
+        "            self.pool.unfix(frame)\n",
+        "            memo = self._nsn_current()\n"
+        "            pid = best.child\n",
+    )
+    findings, _engine = check_paths([path])
+    assert any(f.rule == "latch-release" for f in findings), [
+        str(f) for f in findings
+    ]
+
+
+def test_guarded_release_idiom_verifies(tmp_path: Path) -> None:
+    # `if frame.latch.held_by_me() is not None: pool.unfix(frame)` in
+    # a finally discharges the obligation on both branches
+    path = tmp_path / "m.py"
+    path.write_text(
+        "class T:\n"
+        "    def locate(self, pid):\n"
+        "        frame = self.pool.fix(pid)\n"
+        "        return frame\n"
+        "    def insert(self, pid):\n"
+        "        frame = self.locate(pid)\n"
+        "        try:\n"
+        "            self.apply(frame)\n"
+        "        finally:\n"
+        "            if frame.latch.held_by_me() is not None:\n"
+        "                self.pool.unfix(frame)\n"
+        "        return True\n"
+    )
+    findings, _engine = check_paths([path])
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+def test_loop_reacquire_without_release_is_caught(tmp_path: Path) -> None:
+    path = tmp_path / "m.py"
+    path.write_text(
+        "class T:\n"
+        "    def walk(self, pids):\n"
+        "        for pid in pids:\n"
+        "            frame = self.pool.fix(pid)\n"
+        "        return None\n"
+    )
+    findings, _engine = check_paths([path])
+    assert any(f.rule == "latch-release" for f in findings), [
+        str(f) for f in findings
+    ]
+
+
+def test_release_thread_fixes_sweep_discharges(tmp_path: Path) -> None:
+    path = tmp_path / "m.py"
+    path.write_text(
+        "class T:\n"
+        "    def walk(self, pids):\n"
+        "        for pid in pids:\n"
+        "            frame = self.pool.fix(pid)\n"
+        "        self.pool.release_thread_fixes()\n"
+        "        return None\n"
+    )
+    findings, _engine = check_paths([path])
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        # structural: with-statement scope
+        "        with self.pool.fixed(pid) as frame:\n"
+        "            return frame.page.value\n",
+        # structural: try/finally
+        "        frame = self.pool.fix(pid)\n"
+        "        try:\n"
+        "            return frame.page.value\n"
+        "        finally:\n"
+        "            self.pool.unfix(frame)\n",
+    ],
+)
+def test_structural_shapes_verify(tmp_path: Path, body: str) -> None:
+    path = tmp_path / "m.py"
+    path.write_text("class T:\n    def read(self, pid):\n" + body)
+    findings, _engine = check_paths([path])
+    assert findings == [], "\n".join(str(f) for f in findings)
